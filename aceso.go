@@ -1,0 +1,174 @@
+// Package aceso is a Go implementation of Aceso (SOSP 2024), a
+// memory-disaggregated key-value store with hybrid fault tolerance:
+// differential checkpointing with slot versioning protects the hash
+// index, offline XOR erasure coding with delta-based space reclamation
+// protects the KV pairs, and a tiered scheme recovers a crashed memory
+// node's functionality in index-recovery time.
+//
+// The package is a facade over internal/core. A cluster runs either on
+// the deterministic simulated RDMA fabric (NewSimCluster — used by all
+// benchmarks; virtual time, calibrated NIC cost model) or on real TCP
+// transport via cmd/acesod and the tcpnet fabric.
+//
+// Quickstart:
+//
+//	cluster, _ := aceso.NewSimCluster(aceso.DefaultConfig())
+//	cluster.Start()
+//	cluster.RunClient("app", func(c *aceso.Client) {
+//		c.Insert([]byte("k"), []byte("v"))
+//		v, _ := c.Search([]byte("k"))
+//		fmt.Println(string(v))
+//	})
+package aceso
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdma"
+	"repro/internal/rdma/simnet"
+)
+
+// Config parameterises a coding group; see the field docs in
+// internal/core. DefaultConfig matches the paper's setup (5 MNs,
+// 3 data + 2 parity per stripe, 2 MB blocks, 500 ms checkpoints),
+// scaled down in memory footprint.
+type Config = core.Config
+
+// Client executes KV requests (INSERT, UPDATE, SEARCH, DELETE) with
+// one-sided verbs. Bind one client per process via RunClient.
+type Client = core.Client
+
+// RecoveryReport breaks a memory-node recovery into the tiers of
+// §3.4.1 / Table 2.
+type RecoveryReport = core.RecoveryReport
+
+// MemoryUsage is the Block Area space accounting (Figure 12).
+type MemoryUsage = core.MemoryUsage
+
+// Errors re-exported from the client.
+var (
+	ErrNotFound = core.ErrNotFound
+	ErrNoSpace  = core.ErrNoSpace
+)
+
+// DefaultConfig returns the paper-default configuration, scaled down.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Cluster is one Aceso coding group plus its master, running on a
+// simulated fabric inside this process.
+type Cluster struct {
+	pl      *simnet.Platform
+	cl      *core.Cluster
+	started bool
+	pending int
+	// doneCh is incremented as RunClient bodies complete.
+	done int
+}
+
+// NewSimCluster creates a cluster of cfg.Layout.NumMNs memory nodes on
+// a fresh simulated fabric. Call Start before running clients.
+func NewSimCluster(cfg Config) (*Cluster, error) {
+	pl := simnet.New(simnet.DefaultConfig())
+	cl, err := core.NewCluster(cfg, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{pl: pl, cl: cl}, nil
+}
+
+// Start launches the memory-node servers and the master (membership,
+// checkpoint rounds, failure handling), and provisions one spare MN
+// for recovery.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.cl.StartServers()
+	c.cl.StartMaster().AddSpare()
+	c.started = true
+}
+
+// AddSpare provisions another idle memory node for recovery.
+func (c *Cluster) AddSpare() { c.cl.Master().AddSpare() }
+
+// RunClient executes fn as a client process on its own compute node
+// and drives virtual time until fn returns. It is the synchronous
+// convenience wrapper; use SpawnClient to run several concurrently.
+func (c *Cluster) RunClient(name string, fn func(*Client)) {
+	done := false
+	c.SpawnClient(name, func(cli *Client) {
+		fn(cli)
+		done = true
+	})
+	c.RunUntil(func() bool { return done })
+}
+
+// SpawnClient starts fn as a client process without advancing time;
+// combine with RunUntil or Advance.
+func (c *Cluster) SpawnClient(name string, fn func(*Client)) {
+	cn := c.pl.AddComputeNode()
+	c.pending++
+	c.cl.SpawnClient(cn, name, func(cli *Client) {
+		fn(cli)
+		c.done++
+	})
+}
+
+// Advance moves virtual time forward by d.
+func (c *Cluster) Advance(d time.Duration) {
+	c.pl.Run(c.pl.Engine().Now() + d)
+}
+
+// RunUntil advances virtual time until cond holds (or an hour of
+// virtual time passes). It reports whether cond held.
+func (c *Cluster) RunUntil(cond func() bool) bool {
+	eng := c.pl.Engine()
+	limit := eng.Now() + time.Hour
+	for !cond() && eng.Now() < limit {
+		eng.Run(eng.Now() + time.Millisecond)
+	}
+	return cond()
+}
+
+// Wait advances virtual time until every spawned client has returned.
+func (c *Cluster) Wait() bool {
+	return c.RunUntil(func() bool { return c.done >= c.pending })
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.pl.Engine().Now() }
+
+// FailMN injects a fail-stop crash of logical memory node mn. The
+// master detects it and runs tiered recovery onto a spare.
+func (c *Cluster) FailMN(mn int) { c.cl.FailMN(mn) }
+
+// MNState reports a memory node's recovery progress: failed (down),
+// indexReady (tier 2 done: writes at full speed, reads degraded) and
+// blocksReady (tier 3 done: fully recovered).
+func (c *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
+	return c.cl.MNState(mn)
+}
+
+// RecoveryReports returns the reports of completed MN recoveries.
+func (c *Cluster) RecoveryReports() []*RecoveryReport {
+	return c.cl.Master().Reports
+}
+
+// MemoryUsage scans the group's Block Areas (Figure 12 accounting).
+func (c *Cluster) MemoryUsage() MemoryUsage { return c.cl.MemoryUsage() }
+
+// Reclaimed returns how many blocks were handed out through
+// delta-based space reclamation (§3.3.3).
+func (c *Cluster) Reclaimed() int { return c.cl.Reclaimed() }
+
+// NumMNs returns the coding-group size.
+func (c *Cluster) NumMNs() int { return c.cl.Cfg.Layout.NumMNs }
+
+// Close unwinds the simulated fabric. The cluster must not be used
+// afterwards.
+func (c *Cluster) Close() { c.pl.Shutdown() }
+
+// Internal returns the underlying core cluster and platform for
+// advanced instrumentation (benchmark harnesses).
+func (c *Cluster) Internal() (*core.Cluster, rdma.Platform) { return c.cl, c.pl }

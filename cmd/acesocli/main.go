@@ -1,0 +1,119 @@
+// Command acesocli is an interactive client for an Aceso group served
+// by acesod daemons:
+//
+//	acesocli -peers :7000,:7001,:7002,:7003,:7004
+//	> set greeting hello-disaggregated-world
+//	> get greeting
+//	hello-disaggregated-world
+//	> del greeting
+//	> get greeting
+//	(not found)
+//
+// Start it with the same -peers and geometry flags as the daemons.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdma/tcpnet"
+)
+
+func main() {
+	peers := flag.String("peers", "", "comma-separated addresses of all memory nodes, in id order")
+	cfg := core.DefaultConfig()
+	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
+	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size")
+	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
+	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 2 {
+		log.Fatalf("need at least 2 peers, got %q", *peers)
+	}
+	cfg.Layout.NumMNs = len(addrs)
+	cfg.Layout.StripeRows = *stripes
+	cfg.Layout.PoolBlocks = *pool
+
+	pl := tcpnet.New(addrs, 0, false)
+	cl, err := core.NewCluster(cfg, pl)
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	cn := pl.AddComputeNode()
+
+	done := make(chan struct{})
+	cl.SpawnClient(cn, "acesocli", func(c *core.Client) {
+		defer close(done)
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("> ")
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) > 0 {
+				if quit := execute(c, fields); quit {
+					return
+				}
+			}
+			fmt.Print("> ")
+		}
+	})
+	<-done
+	pl.Close()
+}
+
+func execute(c *core.Client, fields []string) (quit bool) {
+	switch fields[0] {
+	case "get":
+		if len(fields) != 2 {
+			fmt.Println("usage: get <key>")
+			return
+		}
+		v, err := c.Search([]byte(fields[1]))
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			fmt.Println("error:", err)
+		default:
+			fmt.Println(string(v))
+		}
+	case "set":
+		if len(fields) != 3 {
+			fmt.Println("usage: set <key> <value>")
+			return
+		}
+		if err := c.Update([]byte(fields[1]), []byte(fields[2])); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "del":
+		if len(fields) != 2 {
+			fmt.Println("usage: del <key>")
+			return
+		}
+		err := c.Delete([]byte(fields[1]))
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			fmt.Println("error:", err)
+		}
+	case "stats":
+		s := c.Stats
+		fmt.Printf("ops=%d cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d\n",
+			s.Ops, s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries, s.CacheHits)
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("commands: get <k> | set <k> <v> | del <k> | stats | quit")
+	default:
+		fmt.Println("unknown command (try: help)")
+	}
+	return false
+}

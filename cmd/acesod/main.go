@@ -1,0 +1,77 @@
+// Command acesod runs one Aceso memory-node daemon over the TCP
+// fabric: it registers the node's pool memory, serves one-sided verbs
+// (software-emulated RDMA), and runs the MN server daemons
+// (allocation RPC, differential checkpointing, offline erasure coding,
+// meta replication). The daemon passed -master also runs the master
+// (checkpoint round trigger).
+//
+// A five-node group on one machine:
+//
+//	acesod -mn 0 -peers :7000,:7001,:7002,:7003,:7004 -master &
+//	acesod -mn 1 -peers :7000,:7001,:7002,:7003,:7004 &
+//	... (mn 2..4)
+//	acesocli -peers :7000,:7001,:7002,:7003,:7004
+//
+// Every daemon and client must be started with the same -peers list
+// and geometry flags so they construct identical layouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/rdma"
+	"repro/internal/rdma/tcpnet"
+)
+
+func main() {
+	var (
+		mn     = flag.Int("mn", 0, "this daemon's logical memory-node id")
+		peers  = flag.String("peers", "", "comma-separated listen addresses of all memory nodes, in id order")
+		master = flag.Bool("master", false, "also run the master (checkpoint trigger) in this daemon")
+	)
+	cfg := core.DefaultConfig()
+	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
+	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size")
+	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
+	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
+	ckpt := flag.Duration("ckpt", cfg.CkptInterval, "checkpoint interval")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 2 {
+		log.Fatalf("need at least 2 peers, got %q", *peers)
+	}
+	cfg.Layout.NumMNs = len(addrs)
+	cfg.Layout.StripeRows = *stripes
+	cfg.Layout.PoolBlocks = *pool
+	cfg.CkptInterval = *ckpt
+	if *mn < 0 || *mn >= len(addrs) {
+		log.Fatalf("mn %d out of range for %d peers", *mn, len(addrs))
+	}
+
+	pl := tcpnet.New(addrs, rdma.NodeID(*mn), true)
+	cl, err := core.NewCluster(cfg, pl)
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	cl.StartServers()
+	if *master {
+		cl.StartMaster()
+		log.Printf("master running (checkpoint interval %v)", cfg.CkptInterval)
+	}
+	log.Printf("mn%d serving on %s (%d MB pool memory, %d stripes)",
+		*mn, pl.Addr(), cl.L.MemBytes()>>20, cfg.Layout.StripeRows)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	pl.Close()
+}

@@ -1,0 +1,174 @@
+// Command acesoload drives a measured workload against a running
+// Aceso group (acesod daemons) over the TCP fabric: it preloads a
+// keyspace, runs a YCSB-style mix or a Twitter-format trace file from
+// concurrent clients, and reports throughput and latency percentiles.
+//
+//	acesoload -peers :7000,:7001,:7002,:7003,:7004 -mix ycsb-a -clients 8 -ops 20000
+//	acesoload -peers ... -trace cluster17.csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdma/tcpnet"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var mixes = map[string]workload.Mix{
+	"ycsb-a":            workload.YCSBA,
+	"ycsb-b":            workload.YCSBB,
+	"ycsb-c":            workload.YCSBC,
+	"ycsb-d":            workload.YCSBD,
+	"twitter-storage":   workload.TwitterStorage,
+	"twitter-compute":   workload.TwitterCompute,
+	"twitter-transient": workload.TwitterTransient,
+}
+
+func main() {
+	var (
+		peers   = flag.String("peers", "", "comma-separated addresses of all memory nodes, in id order")
+		mixName = flag.String("mix", "ycsb-a", "workload mix: ycsb-{a,b,c,d} or twitter-{storage,compute,transient}")
+		trace   = flag.String("trace", "", "replay a Twitter-format CSV trace instead of a mix")
+		clients = flag.Int("clients", 8, "concurrent client count")
+		ops     = flag.Int("ops", 10000, "measured operations per client")
+		keys    = flag.Uint64("keys", 10000, "preloaded keyspace size")
+		kvSize  = flag.Int("kv", 1024, "value size in bytes")
+	)
+	cfg := core.DefaultConfig()
+	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN (must match the daemons)")
+	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size (must match the daemons)")
+	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows (must match the daemons)")
+	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "pool blocks per MN (must match the daemons)")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 2 {
+		log.Fatalf("need at least 2 peers, got %q", *peers)
+	}
+	cfg.Layout.NumMNs = len(addrs)
+	cfg.Layout.StripeRows = *stripes
+	cfg.Layout.PoolBlocks = *pool
+
+	pl := tcpnet.New(addrs, 0, false)
+	cl, err := core.NewCluster(cfg, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gens := make([]workload.Generator, *clients)
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceOps, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d trace records across %d clients\n", len(traceOps), *clients)
+		per := (len(traceOps) + *clients - 1) / *clients
+		for i := range gens {
+			lo := i * per
+			hi := lo + per
+			if hi > len(traceOps) {
+				hi = len(traceOps)
+			}
+			if lo >= hi {
+				gens[i] = workload.NewTraceGen(traceOps)
+			} else {
+				gens[i] = workload.NewTraceGen(traceOps[lo:hi])
+			}
+		}
+	} else {
+		mix, ok := mixes[*mixName]
+		if !ok {
+			log.Fatalf("unknown mix %q", *mixName)
+		}
+		fmt.Printf("running %s: %d clients x %d ops over %d keys\n", mix.Name, *clients, *ops, *keys)
+		for i := range gens {
+			gens[i] = workload.NewMixGen(mix, *keys, int64(1000+i))
+		}
+	}
+
+	// Preload the shared keyspace from one client.
+	preStart := time.Now()
+	runClient(pl, cl, func(c *core.Client) {
+		for i := uint64(0); i < *keys; i++ {
+			k := workload.KeyName(i)
+			if err := c.Insert(k, workload.Value(k, *kvSize)); err != nil {
+				log.Fatalf("preload %d: %v", i, err)
+			}
+		}
+	})
+	fmt.Printf("preloaded %d keys in %v\n", *keys, time.Since(preStart).Round(time.Millisecond))
+
+	// Measured phase.
+	var mu sync.Mutex
+	hist := stats.NewHistogram()
+	var total uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		g := gens[i]
+		wg.Add(1)
+		cn := pl.AddComputeNode()
+		cl.SpawnClient(cn, fmt.Sprintf("load%d", i), func(c *core.Client) {
+			defer wg.Done()
+			local := stats.NewHistogram()
+			for n := 0; n < *ops; n++ {
+				op := g.Next()
+				t0 := time.Now()
+				var err error
+				switch op.Kind {
+				case workload.OpSearch:
+					_, err = c.Search(op.Key)
+				case workload.OpUpdate:
+					err = c.Update(op.Key, workload.Value(op.Key, *kvSize))
+				case workload.OpInsert:
+					err = c.Insert(op.Key, workload.Value(op.Key, *kvSize))
+				case workload.OpDelete:
+					err = c.Delete(op.Key)
+				}
+				if err != nil && !errors.Is(err, core.ErrNotFound) {
+					log.Fatalf("client op %d (%v %s): %v", n, op.Kind, op.Key, err)
+				}
+				local.Record(time.Since(t0))
+			}
+			c.Close()
+			mu.Lock()
+			hist.Merge(local)
+			total += uint64(*ops)
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%d ops in %v: %.1f Kops/s\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds()/1e3)
+	fmt.Printf("latency: p50=%v p99=%v p999=%v mean=%v\n",
+		hist.Percentile(0.50), hist.Percentile(0.99), hist.Percentile(0.999), hist.Mean())
+	pl.Close()
+}
+
+// runClient runs fn synchronously on a fresh compute node.
+func runClient(pl *tcpnet.Platform, cl *core.Cluster, fn func(*core.Client)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	cn := pl.AddComputeNode()
+	cl.SpawnClient(cn, "loader", func(c *core.Client) {
+		defer wg.Done()
+		fn(c)
+	})
+	wg.Wait()
+}

@@ -1,0 +1,59 @@
+// Quickstart: bring up a five-memory-node Aceso coding group on the
+// in-process simulated fabric and run basic KV operations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	aceso "repro"
+)
+
+func main() {
+	cfg := aceso.DefaultConfig()
+	// Shrink the pool for a snappy demo; geometry is fully
+	// configurable (see DESIGN.md).
+	cfg.Layout.IndexBytes = 64 << 10
+	cfg.Layout.BlockSize = 64 << 10
+	cfg.Layout.StripeRows = 16
+	cfg.Layout.PoolBlocks = 12
+
+	cluster, err := aceso.NewSimCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	cluster.RunClient("quickstart", func(c *aceso.Client) {
+		must(c.Insert([]byte("city:austin"), []byte("SOSP 2024")))
+		must(c.Insert([]byte("paper:aceso"), []byte("hybrid fault tolerance on disaggregated memory")))
+
+		v, err := c.Search([]byte("paper:aceso"))
+		must(err)
+		fmt.Printf("paper:aceso = %s\n", v)
+
+		must(c.Update([]byte("city:austin"), []byte("SOSP 2024, Austin TX")))
+		v, err = c.Search([]byte("city:austin"))
+		must(err)
+		fmt.Printf("city:austin = %s\n", v)
+
+		must(c.Delete([]byte("city:austin")))
+		if _, err := c.Search([]byte("city:austin")); errors.Is(err, aceso.ErrNotFound) {
+			fmt.Println("city:austin deleted")
+		}
+
+		fmt.Printf("client stats: ops=%d cas=%d reads=%d writes=%d\n",
+			c.Stats.Ops, c.Stats.CASIssued, c.Stats.ReadsIssued, c.Stats.WritesIssued)
+	})
+	fmt.Printf("virtual time elapsed: %v\n", cluster.Now())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Trace replay: synthesize a Twitter-format cache trace (the paper
+// replays the production traces of Yang et al., which cannot be
+// redistributed), then replay it against an Aceso cluster — the same
+// path a real trace file would take.
+//
+//	go run ./examples/tracereplay [trace.csv]
+//
+// With an argument, the given Twitter-format CSV is replayed instead
+// of a synthetic one.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	aceso "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var ops []workload.TraceOp
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		ops, err = workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d operations from %s\n", len(ops), os.Args[1])
+	} else {
+		path := "/tmp/aceso-synthetic-trace.csv"
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		const keys, count = 2000, 12000
+		if err := workload.WriteSyntheticTrace(f, workload.TwitterCompute, keys, count, 1024, 42); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		rf, _ := os.Open(path)
+		ops, err = workload.ParseTrace(rf)
+		rf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("synthesized %s (%d ops, TWITTER-COMPUTE mix) and parsed it back\n", path, len(ops))
+	}
+
+	cfg := aceso.DefaultConfig()
+	cfg.Layout.IndexBytes = 1 << 20
+	cfg.Layout.BlockSize = 256 << 10
+	cfg.Layout.StripeRows = 64
+	cfg.Layout.PoolBlocks = 24
+	cluster, err := aceso.NewSimCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	counts := map[workload.Kind]int{}
+	var start, end time.Duration
+	cluster.RunClient("replayer", func(c *aceso.Client) {
+		// Preload so replayed gets/sets of preloaded keys hit.
+		seen := map[string]bool{}
+		for _, op := range ops {
+			if !seen[string(op.Key)] && (op.Kind == workload.OpSearch || op.Kind == workload.OpUpdate) {
+				if err := c.Insert(op.Key, workload.Value(op.Key, 256)); err != nil {
+					log.Fatalf("preload: %v", err)
+				}
+				seen[string(op.Key)] = true
+			}
+		}
+		start = cluster.Now()
+		g := workload.NewTraceGen(ops)
+		for i := 0; i < len(ops); i++ {
+			op := g.Next()
+			var err error
+			switch op.Kind {
+			case workload.OpSearch:
+				_, err = c.Search(op.Key)
+			case workload.OpUpdate:
+				err = c.Update(op.Key, workload.Value(op.Key, 256))
+			case workload.OpInsert:
+				err = c.Insert(op.Key, workload.Value(op.Key, 256))
+			case workload.OpDelete:
+				err = c.Delete(op.Key)
+			}
+			if err != nil && !errors.Is(err, aceso.ErrNotFound) {
+				log.Fatalf("replay op %d (%v %s): %v", i, op.Kind, op.Key, err)
+			}
+			counts[op.Kind]++
+		}
+		end = cluster.Now()
+	})
+
+	fmt.Printf("replayed: SEARCH=%d UPDATE=%d INSERT=%d DELETE=%d\n",
+		counts[workload.OpSearch], counts[workload.OpUpdate],
+		counts[workload.OpInsert], counts[workload.OpDelete])
+	fmt.Printf("virtual replay time: %v (%.2f Mops single-client)\n",
+		end-start, float64(len(ops))/(end-start).Seconds()/1e6)
+}

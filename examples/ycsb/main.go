@@ -1,0 +1,27 @@
+// YCSB: run the four YCSB core workloads against Aceso and against a
+// FUSEE-style replication baseline on identical simulated fabrics, and
+// print the throughput comparison of Figure 10.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fmt.Println("Running YCSB A-D on Aceso and the FUSEE baseline (simulated fabric)...")
+	fmt.Println("This drives the same harness as `acesobench -exp fig10`.")
+	start := time.Now()
+	res, err := bench.Run("fig10", bench.Options{Clients: 48, CNs: 12, OpsPerClient: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Text())
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}

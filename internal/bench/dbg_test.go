@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestDebugFig16Scale8(t *testing.T) {
+	o := Options{}.withDefaults()
+	lo := o
+	lo.OpsPerClient = 1600
+	cfg := acesoConfig(lo, 0, nil)
+	t.Logf("IndexBytes=%d StripeRows=%d PoolBlocks=%d", cfg.Layout.IndexBytes, cfg.Layout.StripeRows, cfg.Layout.PoolBlocks)
+	lc, err := loadCluster(o, 1600, 0, nil)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	lc.r.shutdown()
+}

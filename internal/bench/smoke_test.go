@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestQuickSmoke runs every registered experiment in Quick mode: the
+// whole evaluation pipeline must produce a table without errors.
+func TestQuickSmoke(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(res.Series) == 0 {
+				t.Fatalf("%s: no series", id)
+			}
+			txt := res.Text()
+			if len(txt) == 0 {
+				t.Fatalf("%s: empty text", id)
+			}
+			t.Log("\n" + txt)
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := &Result{ID: "x", Title: "t"}
+	s1 := &stats.Series{Name: "a,b"}
+	s1.Add("c1", 1.5)
+	s1.Add("c2", 2)
+	res.Series = append(res.Series, s1)
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,c1,c2\n\"a,b\",1.5,2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,989 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/layout"
+	"repro/internal/racehash"
+	"repro/internal/rdma"
+)
+
+// Client errors.
+var (
+	// ErrNotFound reports a SEARCH or DELETE of an absent key.
+	ErrNotFound = errors.New("aceso: key not found")
+	// ErrNoSpace reports that no MN could allocate a DATA block.
+	ErrNoSpace = errors.New("aceso: memory pool exhausted")
+	// ErrRetriesExhausted reports an operation that kept losing CAS
+	// races or finding locked slots beyond the retry budget.
+	ErrRetriesExhausted = errors.New("aceso: retries exhausted")
+)
+
+const maxOpRetries = 1024
+
+// Client executes KV requests with one-sided verbs (§3.1). Each client
+// is single-threaded (bind one per process/coroutine, as the paper's
+// clients do); it owns open DATA blocks per size class and a local
+// index cache storing both slot addresses and slot values (§3.5.1).
+type Client struct {
+	cl  *Cluster
+	id  uint16
+	ctx rdma.Ctx
+
+	cache    map[string]*cacheEnt
+	open     map[uint8]*openBlock
+	pending  map[pendKey][]uint32
+	pendingN int
+	allocSeq int
+	// pendingSeal holds a just-filled block whose seal must wait until
+	// after the commit CAS of its final KV (§3.2.3 ordering).
+	pendingSeal []*openBlock
+
+	// Stats observable by harnesses.
+	Stats ClientStats
+}
+
+// ClientStats counts notable client-side events.
+type ClientStats struct {
+	Ops           uint64
+	CASRetries    uint64
+	LockWaits     uint64
+	DegradedReads uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	BlocksAlloc   uint64
+	BlocksReused  uint64
+	CASIssued     uint64
+	ReadsIssued   uint64
+	WritesIssued  uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+}
+
+type pendKey struct {
+	mn    int
+	block int
+}
+
+type cacheEnt struct {
+	mn      int
+	slotOff uint64 // offset of the slot's Atomic word in mn's index
+	atomic  uint64 // cached Atomic word
+	meta    layout.SlotMeta
+	tomb    bool // the committed pair is a tombstone
+}
+
+type openBlock struct {
+	class    uint8
+	mn       int
+	idx      int
+	stripe   uint32
+	xorID    uint8
+	copyIdx  uint32
+	reused   bool
+	oldData  []byte
+	slotSize int
+	slots    []int // writable slot indices remaining
+	deltas   []deltaTarget
+	// viewEpoch is the membership epoch the delta targets were
+	// resolved under; recovery can relocate DELTA blocks, so the
+	// targets are refreshed when the epoch moves.
+	viewEpoch uint64
+}
+
+type deltaTarget struct {
+	mn       int
+	blockOff uint64
+}
+
+func newClient(cl *Cluster, id uint16) *Client {
+	return &Client{
+		cl:      cl,
+		id:      id,
+		cache:   make(map[string]*cacheEnt),
+		open:    make(map[uint8]*openBlock),
+		pending: make(map[pendKey][]uint32),
+	}
+}
+
+// Attach binds the client to its process context. It must be called
+// from the client's own process before any operation.
+func (c *Client) Attach(ctx rdma.Ctx) { c.ctx = ctx }
+
+// ID returns the client's cluster-unique id.
+func (c *Client) ID() uint16 { return c.id }
+
+// --- verb helpers with accounting ---
+
+func (c *Client) vread(buf []byte, addr rdma.GlobalAddr) error {
+	c.Stats.ReadsIssued++
+	c.Stats.BytesRead += uint64(len(buf))
+	return c.ctx.Read(buf, addr)
+}
+
+func (c *Client) vbatch(ops []rdma.Op) error {
+	for i := range ops {
+		switch ops[i].Kind {
+		case rdma.OpRead:
+			c.Stats.ReadsIssued++
+			c.Stats.BytesRead += uint64(len(ops[i].Buf))
+		case rdma.OpWrite:
+			c.Stats.WritesIssued++
+			c.Stats.BytesWritten += uint64(len(ops[i].Buf))
+		case rdma.OpCAS, rdma.OpFAA:
+			c.Stats.CASIssued++
+		}
+	}
+	return c.ctx.Batch(ops)
+}
+
+func (c *Client) vcas(addr rdma.GlobalAddr, old, new uint64) (uint64, error) {
+	c.Stats.CASIssued++
+	return c.ctx.CAS(addr, old, new)
+}
+
+// waitIndexReady blocks while the key's home MN index partition is
+// down (§3.4.1: requests to the affected index range are blocked until
+// the Index Area is recovered).
+func (c *Client) waitIndexReady(mn int) {
+	for {
+		_, failed, idxReady, _ := c.cl.view.snapshotMN(mn)
+		if !failed || idxReady {
+			return
+		}
+		c.ctx.Sleep(200 * time.Microsecond)
+	}
+}
+
+// --- SEARCH ---
+
+// Search returns the value of key, or ErrNotFound.
+func (c *Client) Search(key []byte) ([]byte, error) {
+	c.Stats.Ops++
+	h := racehash.Hash(key)
+	mn := racehash.HomeMN(h, c.cl.Cfg.Layout.NumMNs)
+	fp := racehash.Fingerprint(h)
+	c.waitIndexReady(mn)
+
+	if ent, ok := c.cache[string(key)]; ok {
+		c.Stats.CacheHits++
+		val, err := c.cachedRead(key, ent)
+		if err == nil || errors.Is(err, ErrNotFound) {
+			return val, err
+		}
+		// Stale or torn: fall back to a full index query.
+	} else {
+		c.Stats.CacheMisses++
+	}
+	return c.querySearch(key, h, mn, fp)
+}
+
+var errStaleCache = errors.New("core: stale cache entry")
+
+// cachedRead performs the cache-accelerated read of §3.5.1: with
+// CacheSlotAddr it reads the KV pair and the 8-byte slot Atomic word in
+// one doorbell batch; if the slot is unchanged the KV is valid (the
+// slot CAS is the commit point). Without CacheSlotAddr (the "+CKPT"
+// factor-analysis configuration) the client must re-read the whole
+// bucket to locate and validate the slot.
+func (c *Client) cachedRead(key []byte, ent *cacheEnt) ([]byte, error) {
+	if ent.meta.Len == 0 {
+		return nil, errStaleCache
+	}
+	atom := layout.UnpackAtomic(ent.atomic)
+	kvAddr, ok := c.cl.PackedAddr(atom.Addr)
+	kvBuf := make([]byte, int(ent.meta.Len)*64)
+	var slotBuf [8]byte
+
+	ops := []rdma.Op{{Kind: rdma.OpRead, Addr: kvAddr, Buf: kvBuf}}
+	if c.cl.Cfg.CacheSlotAddr {
+		// The slot's address is cached: one 8-byte validation read.
+		slotAddr, idxOK := c.cl.Addr(ent.mn, ent.slotOff)
+		if !idxOK {
+			return nil, errStaleCache
+		}
+		ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: slotAddr, Buf: slotBuf[:]})
+	} else {
+		// Value-only cache (the "+CKPT" configuration): locating the
+		// slot to validate requires re-reading both candidate buckets,
+		// like the FUSEE baseline.
+		h := racehash.Hash(key)
+		i1, i2 := racehash.BucketPair(h, c.cl.L.NumBuckets())
+		for _, b := range []uint64{i1, i2} {
+			a, idxOK := c.cl.Addr(ent.mn, c.cl.L.BucketOff(b))
+			if !idxOK {
+				return nil, errStaleCache
+			}
+			ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: a, Buf: make([]byte, layout.BucketSize)})
+		}
+	}
+	err := c.vbatch(ops)
+	for _, op := range ops[1:] {
+		if op.Err != nil {
+			return nil, errStaleCache // index node changed under us
+		}
+	}
+	if ops[0].Err != nil {
+		if !ok || errors.Is(ops[0].Err, rdma.ErrNodeFailed) {
+			if dErr := c.degradedRead(kvBuf, atom.Addr); dErr != nil {
+				return nil, errStaleCache
+			}
+			err = nil
+		} else {
+			return nil, err
+		}
+	}
+
+	cur, curOK := c.currentAtomic(ent, ops)
+	if !curOK {
+		return nil, errStaleCache
+	}
+	if cur == ent.atomic {
+		return c.finishRead(key, ent, kvBuf)
+	}
+	// Slot changed: refresh the cache and read the new KV (§3.5.1
+	// "otherwise, it reads the new KV pair based on the new index
+	// slot").
+	ent.atomic = cur
+	newAtom := layout.UnpackAtomic(cur)
+	if newAtom.Addr == 0 {
+		return nil, errStaleCache
+	}
+	kvBuf = make([]byte, int(ent.meta.Len)*64)
+	if err := c.readKVBytes(kvBuf, newAtom.Addr); err != nil {
+		return nil, errStaleCache
+	}
+	return c.finishRead(key, ent, kvBuf)
+}
+
+// currentAtomic extracts the slot's current Atomic word from the
+// validation reads.
+func (c *Client) currentAtomic(ent *cacheEnt, ops []rdma.Op) (uint64, bool) {
+	if c.cl.Cfg.CacheSlotAddr {
+		return binary.LittleEndian.Uint64(ops[1].Buf), true
+	}
+	// Find the slot within whichever candidate bucket holds it.
+	bucket := ent.slotOff / layout.BucketSize
+	rel := ent.slotOff % layout.BucketSize
+	for _, op := range ops[1:] {
+		if op.Addr.Off == bucket*layout.BucketSize {
+			return binary.LittleEndian.Uint64(op.Buf[rel:]), true
+		}
+	}
+	return 0, false
+}
+
+// finishRead decodes and validates a KV read under a verified slot,
+// keeping the cache entry's tombstone state current.
+func (c *Client) finishRead(key []byte, ent *cacheEnt, kvBuf []byte) ([]byte, error) {
+	kv, err := layout.DecodeKV(kvBuf)
+	if err != nil || kv == nil {
+		return nil, errStaleCache
+	}
+	if !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
+		return nil, errStaleCache
+	}
+	ent.tomb = kv.Tombstone
+	if kv.Tombstone {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), kv.Val...), nil
+}
+
+// querySearch reads the key's two candidate buckets and chases
+// fingerprint matches.
+func (c *Client) querySearch(key []byte, h uint64, mn int, fp uint8) ([]byte, error) {
+	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		c.waitIndexReady(mn)
+		b1, b2, err := c.readBuckets(h, mn)
+		if err != nil {
+			c.ctx.Sleep(100 * time.Microsecond)
+			continue
+		}
+		matches := racehash.ScanBuckets(fp, b1, b2)
+		stale := false
+		for _, m := range matches {
+			kv, err := c.readKV(m.Atomic, m.Meta)
+			if err != nil {
+				stale = true
+				continue
+			}
+			if kv == nil || !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
+				continue
+			}
+			c.updateCache(key, h, mn, m, kv.Tombstone)
+			if kv.Tombstone {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), kv.Val...), nil
+		}
+		if !stale {
+			return nil, ErrNotFound
+		}
+		c.ctx.Sleep(20 * time.Microsecond)
+	}
+	return nil, ErrRetriesExhausted
+}
+
+// readBuckets fetches the key's two candidate buckets in one doorbell
+// batch.
+func (c *Client) readBuckets(h uint64, mn int) ([]byte, []byte, error) {
+	l := c.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	a1, ok1 := c.cl.Addr(mn, l.BucketOff(i1))
+	a2, ok2 := c.cl.Addr(mn, l.BucketOff(i2))
+	if !ok1 || !ok2 {
+		return nil, nil, rdma.ErrNodeFailed
+	}
+	b1 := make([]byte, layout.BucketSize)
+	b2 := make([]byte, layout.BucketSize)
+	ops := []rdma.Op{
+		{Kind: rdma.OpRead, Addr: a1, Buf: b1},
+		{Kind: rdma.OpRead, Addr: a2, Buf: b2},
+	}
+	if err := c.vbatch(ops); err != nil {
+		return nil, nil, err
+	}
+	return b1, b2, nil
+}
+
+// updateCache records the located slot for future cache-accelerated
+// reads and writes.
+func (c *Client) updateCache(key []byte, h uint64, mn int, m racehash.Match, tomb bool) {
+	l := c.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	bucket := i1
+	if m.Bucket == 1 {
+		bucket = i2
+	}
+	c.cache[string(key)] = &cacheEnt{
+		mn:      mn,
+		slotOff: l.SlotOff(bucket, m.Slot),
+		atomic:  m.Atomic.Pack(),
+		meta:    m.Meta,
+		tomb:    tomb,
+	}
+}
+
+// readKV reads and decodes the KV pair a slot points to, using the
+// slot Meta's length hint and falling back to a header-then-body read
+// when the hint is stale (§3.2.2: the client repairs stale hints).
+func (c *Client) readKV(atom layout.SlotAtomic, meta layout.SlotMeta) (*layout.KV, error) {
+	n := int(meta.Len) * 64
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]byte, n)
+	if err := c.readKVBytes(buf, atom.Addr); err != nil {
+		return nil, err
+	}
+	kv, err := layout.DecodeKV(buf)
+	if err == nil && kv != nil {
+		return kv, nil
+	}
+	if kv == nil && err == nil {
+		return nil, nil
+	}
+	// Length hint may be stale: derive the true class from the header
+	// and re-read.
+	keyLen := int(binary.LittleEndian.Uint16(buf[2:]))
+	valLen := int(binary.LittleEndian.Uint32(buf[4:]))
+	real := layout.KVClassSize(keyLen, valLen)
+	if real <= n || real > int(c.cl.Cfg.Layout.BlockSize) {
+		return nil, err
+	}
+	buf = make([]byte, real)
+	if err := c.readKVBytes(buf, atom.Addr); err != nil {
+		return nil, err
+	}
+	return layout.DecodeKV(buf)
+}
+
+// readKVBytes reads len(buf) bytes at a packed KV address, falling
+// back to a degraded erasure-decoded read when the block's MN is down
+// (§3.4.1).
+func (c *Client) readKVBytes(buf []byte, packed uint64) error {
+	addr, ok := c.cl.PackedAddr(packed)
+	if ok {
+		err := c.vread(buf, addr)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, rdma.ErrNodeFailed) {
+			return err
+		}
+	}
+	return c.degradedRead(buf, packed)
+}
+
+// degradedRead reconstructs a byte range of a lost DATA block from the
+// stripe's survivors: P-parity range ⊕ surviving data ranges ⊕ all
+// pending delta ranges (see readStripeRange). Cost: ~k+2 small reads
+// instead of one, which is why degraded SEARCH runs at roughly half
+// throughput (Figure 14). When the stripe's survivors are themselves
+// unavailable (a second failure), the client waits for tier-3 recovery.
+func (c *Client) degradedRead(buf []byte, packed uint64) error {
+	c.Stats.DegradedReads++
+	mn, off := layout.UnpackAddr(packed)
+	if err := readStripeRange(c.ctx, c.cl, packed, buf); err == nil {
+		return nil
+	}
+	// Second failure took the row parity too (§3.4.1 remark 2): fall
+	// back to full-stripe reconstruction from whatever survives.
+	if err := readStripeRangeFull(c.ctx, c.cl, packed, buf); err == nil {
+		return nil
+	}
+	return c.waitBlocksAndRead(buf, int(mn), off)
+}
+
+// waitBlocksAndRead waits for tier-3 recovery of mn and retries a
+// plain read (used when degraded decoding is impossible, e.g. a double
+// failure hit both the data and the row-parity MN).
+func (c *Client) waitBlocksAndRead(buf []byte, mn int, off uint64) error {
+	for {
+		_, failed, _, blocksReady := c.cl.view.snapshotMN(mn)
+		if !failed && blocksReady {
+			addr, ok := c.cl.Addr(mn, off)
+			if !ok {
+				continue
+			}
+			return c.vread(buf, addr)
+		}
+		c.ctx.Sleep(500 * time.Microsecond)
+	}
+}
+
+// --- writes (INSERT / UPDATE / DELETE) ---
+
+// Insert stores the key-value pair (upserting if present).
+func (c *Client) Insert(key, val []byte) error { return c.write(key, val, false) }
+
+// Update overwrites the value of key (upserting if absent).
+func (c *Client) Update(key, val []byte) error { return c.write(key, val, false) }
+
+// Delete removes key by committing a tombstone KV pair (a zero-length
+// value "used solely for logging", §4.2). It returns ErrNotFound when
+// the key is absent.
+func (c *Client) Delete(key []byte) error { return c.write(key, nil, true) }
+
+// write implements Algorithm 1 (slot versioning) around the
+// out-of-place write path: place the new KV and its deltas, then
+// commit with one CAS on the slot's Atomic word.
+func (c *Client) write(key, val []byte, tombstone bool) error {
+	c.Stats.Ops++
+	h := racehash.Hash(key)
+	mn := racehash.HomeMN(h, c.cl.Cfg.Layout.NumMNs)
+	fp := racehash.Fingerprint(h)
+	lockWait := time.Duration(0)
+
+	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		c.waitIndexReady(mn)
+		slotOff, atomOld, metaOld, found, isTomb, err := c.locateForWrite(key, h, mn, fp)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) && tombstone {
+				return ErrNotFound
+			}
+			if errors.Is(err, rdma.ErrNodeFailed) {
+				c.ctx.Sleep(100 * time.Microsecond)
+				continue
+			}
+			return err
+		}
+		if tombstone && (!found || isTomb) {
+			return ErrNotFound
+		}
+
+		// Slot versioning (Algorithm 1).
+		verNew := uint8(1)
+		epochKV := uint64(0)
+		var lockedVal uint64 // non-zero when we hold the Meta lock
+		metaAddr, _ := c.cl.Addr(mn, slotOff+layout.SlotMetaOff)
+		if found {
+			if metaOld.Locked() {
+				// Another client is rolling the epoch: retry, and
+				// after LockTimeout force-relock (remark 2, §3.2.2).
+				c.Stats.LockWaits++
+				if lockWait < c.cl.Cfg.LockTimeout {
+					c.ctx.Sleep(c.cl.Cfg.LockRetry)
+					lockWait += c.cl.Cfg.LockRetry
+					c.forgetCache(key)
+					continue
+				}
+				force := layout.SlotMeta{Epoch: metaOld.Epoch + 2, Len: metaOld.Len}
+				prev, err := c.vcas(metaAddr, metaOld.Pack(), force.Pack())
+				if err != nil || prev != metaOld.Pack() {
+					lockWait = 0
+					c.forgetCache(key)
+					continue
+				}
+				lockedVal = force.Pack()
+				metaOld = force
+				epochKV = force.Epoch + 1
+			}
+			atom := layout.UnpackAtomic(atomOld)
+			verNew = atom.Ver + 1 // wraps at 255→0
+			if lockedVal == 0 {
+				if atom.Ver == layout.VerMax {
+					// Epoch rollover: lock Meta by making it odd.
+					lock := layout.SlotMeta{Epoch: metaOld.Epoch + 1, Len: metaOld.Len}
+					prev, err := c.vcas(metaAddr, metaOld.Pack(), lock.Pack())
+					if err != nil || prev != metaOld.Pack() {
+						c.Stats.CASRetries++
+						c.forgetCache(key)
+						continue
+					}
+					lockedVal = lock.Pack()
+					epochKV = metaOld.Epoch + 2
+				} else {
+					epochKV = metaOld.Epoch
+				}
+			}
+		}
+		slotVersion := layout.SlotVersion(epochKV, verNew)
+
+		// Out-of-place write of the KV pair and its deltas.
+		placed, err := c.placeKV(key, val, slotVersion, tombstone)
+		if err != nil {
+			if lockedVal != 0 {
+				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
+			}
+			return err
+		}
+
+		// Commit: one CAS on the Atomic word (the commit point).
+		newAtomic := layout.SlotAtomic{FP: fp, Ver: verNew, Addr: placed.addr}.Pack()
+		slotAddr, ok := c.cl.Addr(mn, slotOff)
+		if !ok {
+			c.invalidateKV(placed)
+			if lockedVal != 0 {
+				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
+			}
+			continue
+		}
+		prev, err := c.vcas(slotAddr, atomOld, newAtomic)
+		classUnits := uint8(layout.KVClassSize(len(key), len(val)) / 64)
+		if err != nil || prev != atomOld {
+			// Lost the race: invalidate our KV pair (Algorithm 1 line
+			// 18) and retry against the fresh slot state, with bounded
+			// backoff so a hot-key herd cannot starve one client.
+			c.Stats.CASRetries++
+			c.invalidateKV(placed)
+			c.markObsolete(placed.addr, classUnits)
+			if lockedVal != 0 {
+				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
+			}
+			c.forgetCache(key)
+			c.finishWrite()
+			if attempt > 2 {
+				shift := attempt
+				if shift > 6 {
+					shift = 6
+				}
+				c.ctx.Sleep(time.Duration(1+int(c.id)%4) * time.Microsecond << shift)
+			}
+			continue
+		}
+
+		// Committed. Unlock / repair the Meta word as needed.
+		if lockedVal != 0 {
+			c.unlockMeta(metaAddr, lockedVal, epochKV, classUnits)
+		} else if !found || metaOld.Len != classUnits {
+			// Stale length hint: single unsignaled RDMA_WRITE repair
+			// (§3.2.2; fire-and-forget under selective signaling).
+			m := layout.SlotMeta{Epoch: epochKV, Len: classUnits}
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], m.Pack())
+			c.Stats.WritesIssued++
+			c.ctx.Post([]rdma.Op{{Kind: rdma.OpWrite, Addr: metaAddr, Buf: w[:]}}) //nolint:errcheck // best-effort hint repair
+		}
+		if found {
+			old := layout.UnpackAtomic(atomOld)
+			c.markObsolete(old.Addr, layout.UnpackMeta(metaOld.Pack()).Len)
+		}
+		c.cache[string(key)] = &cacheEnt{
+			mn: mn, slotOff: slotOff, atomic: newAtomic,
+			meta: layout.SlotMeta{Epoch: epochKV, Len: classUnits},
+			tomb: tombstone,
+		}
+		c.finishWrite()
+		return nil
+	}
+	return ErrRetriesExhausted
+}
+
+// unlockMeta releases the Meta lock, installing the new even epoch and
+// the current length hint (Algorithm 1 line 20).
+func (c *Client) unlockMeta(addr rdma.GlobalAddr, lockedVal uint64, epochEven uint64, lenUnits uint8) {
+	unlock := layout.SlotMeta{Epoch: epochEven, Len: lenUnits}
+	c.vcas(addr, lockedVal, unlock.Pack()) //nolint:errcheck // a forced re-locker superseded us
+}
+
+// invalidateKV stamps InvalidVersion into an uncommitted KV pair so
+// recovery never resurrects it (Algorithm 1 line 18). The pair's delta
+// copies receive the matching XOR patch, preserving the stripe
+// invariant DATA = enc ⊕ DELTA; placeKV precomputed the ops.
+func (c *Client) invalidateKV(p placedKV) {
+	if len(p.inv) == 0 {
+		return
+	}
+	c.Stats.WritesIssued += uint64(len(p.inv))
+	c.ctx.Post(p.inv) //nolint:errcheck // best effort
+}
+
+// forgetCache drops a (possibly stale) cache entry.
+func (c *Client) forgetCache(key []byte) { delete(c.cache, string(key)) }
+
+// finishWrite handles deferred post-commit work: sealing filled blocks
+// and flushing batched free-bitmap updates.
+func (c *Client) finishWrite() {
+	for _, ob := range c.pendingSeal {
+		c.sealBlock(ob)
+	}
+	c.pendingSeal = c.pendingSeal[:0]
+	if c.pendingN >= c.cl.Cfg.BitmapFlushOps {
+		c.FlushBitmaps()
+	}
+}
+
+// locateForWrite finds the key's slot (via cache or index query). It
+// returns the slot's offset, current Atomic word (0 if inserting into
+// an empty slot), Meta word, whether the key already exists, and
+// whether its committed pair is a tombstone.
+func (c *Client) locateForWrite(key []byte, h uint64, mn int, fp uint8) (slotOff uint64, atomic uint64, meta layout.SlotMeta, found, isTomb bool, err error) {
+	if ent, ok := c.cache[string(key)]; ok && c.cl.Cfg.CacheSlotAddr {
+		// Trust the cache; a stale entry just costs one CAS retry.
+		return ent.slotOff, ent.atomic, ent.meta, true, ent.tomb, nil
+	}
+	l := c.cl.L
+	b1, b2, err := c.readBuckets(h, mn)
+	if err != nil {
+		return 0, 0, layout.SlotMeta{}, false, false, err
+	}
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	bucketIdx := []uint64{i1, i2}
+	for _, m := range racehash.ScanBuckets(fp, b1, b2) {
+		kv, err := c.readKV(m.Atomic, m.Meta)
+		if err != nil || kv == nil {
+			continue
+		}
+		if bytes.Equal(kv.Key, key) {
+			off := l.SlotOff(bucketIdx[m.Bucket], m.Slot)
+			return off, m.Atomic.Pack(), m.Meta, true, kv.Tombstone, nil
+		}
+	}
+	// Insert path: the preferred bucket is derived from the key hash
+	// (balancing load across the pair) and the slot choice is the
+	// first free one — deterministic per key, so racing inserters of
+	// the same key collide on the same slot and the CAS resolves them.
+	first, second := b1, b2
+	fi, si := i1, i2
+	if h>>32&1 == 1 {
+		first, second = b2, b1
+		fi, si = i2, i1
+	}
+	if s := racehash.FreeSlot(first); s >= 0 {
+		return l.SlotOff(fi, s), 0, layout.SlotMeta{}, false, false, nil
+	}
+	if s := racehash.FreeSlot(second); s >= 0 {
+		return l.SlotOff(si, s), 0, layout.SlotMeta{}, false, false, nil
+	}
+	return 0, 0, layout.SlotMeta{}, false, false, fmt.Errorf("aceso: both buckets full for key %q (resize not triggered)", key)
+}
+
+// placedKV describes a written-but-uncommitted KV pair: its packed
+// address and the precomputed invalidation ops (version-field patches
+// for the pair and every delta copy).
+type placedKV struct {
+	addr uint64
+	inv  []rdma.Op
+}
+
+// placeKV appends the KV pair to an open DATA block of the right size
+// class, writing the pair and its per-parity deltas in one doorbell
+// batch (Figure 6 ①). It returns the pair's packed global address and
+// the ops that invalidate it if the commit CAS loses.
+func (c *Client) placeKV(key, val []byte, slotVersion uint64, tombstone bool) (placedKV, error) {
+	classSize := layout.KVClassSize(len(key), len(val))
+	classUnits := uint8(classSize / 64)
+	for {
+		ob, err := c.getBlock(classUnits)
+		if err != nil {
+			return placedKV{}, err
+		}
+		slot := ob.slots[0]
+		off := c.cl.L.BlockOff(ob.idx) + uint64(slot*ob.slotSize)
+
+		fence := uint8(1)
+		var oldSlot []byte
+		if ob.reused {
+			oldSlot = ob.oldData[slot*ob.slotSize : (slot+1)*ob.slotSize]
+			fence = layout.NextFence(oldSlot[0])
+		}
+		buf := make([]byte, ob.slotSize)
+		layout.EncodeKV(buf, key, val, slotVersion, fence, tombstone)
+		delta := buf
+		if ob.reused {
+			delta = append([]byte(nil), buf...)
+			erasure.XorInto(delta, oldSlot)
+		}
+
+		ops := make([]rdma.Op, 0, 3)
+		dataAddr, ok := c.cl.Addr(ob.mn, off)
+		if !ok {
+			// Data MN died: abandon the block and allocate elsewhere
+			// (§3.4.1: bypass failed MNs).
+			delete(c.open, ob.class)
+			continue
+		}
+		ops = append(ops, rdma.Op{Kind: rdma.OpWrite, Addr: dataAddr, Buf: buf})
+
+		// Precompute the invalidation patch: stamping InvalidVersion
+		// into the data slot changes the delta word by
+		// slotVersion ⊕ InvalidVersion, keeping DATA = enc ⊕ DELTA.
+		p := placedKV{addr: layout.PackAddr(uint16(ob.mn), off)}
+		var invData [8]byte
+		binary.LittleEndian.PutUint64(invData[:], layout.InvalidVersion)
+		p.inv = append(p.inv, rdma.Op{Kind: rdma.OpWrite,
+			Addr: dataAddr.Add(layout.KVVersionOff), Buf: invData[:]})
+		deltaVer := binary.LittleEndian.Uint64(delta[layout.KVVersionOff:]) ^ slotVersion ^ layout.InvalidVersion
+		var invDelta [8]byte
+		binary.LittleEndian.PutUint64(invDelta[:], deltaVer)
+
+		for _, dt := range ob.deltas {
+			a, ok := c.cl.Addr(dt.mn, dt.blockOff+uint64(slot*ob.slotSize))
+			if !ok {
+				continue
+			}
+			ops = append(ops, rdma.Op{Kind: rdma.OpWrite, Addr: a, Buf: delta})
+			p.inv = append(p.inv, rdma.Op{Kind: rdma.OpWrite,
+				Addr: a.Add(layout.KVVersionOff), Buf: invDelta[:]})
+		}
+		if err := c.vbatch(ops); err != nil {
+			if ops[0].Err != nil { // data write failed
+				delete(c.open, ob.class)
+				continue
+			}
+		}
+		ob.slots = ob.slots[1:]
+		if len(ob.slots) == 0 {
+			// Seal after the commit CAS of this final KV (§3.2.3).
+			c.pendingSeal = append(c.pendingSeal, ob)
+			delete(c.open, ob.class)
+		}
+		return p, nil
+	}
+}
+
+// getBlock returns the open DATA block for a size class, allocating a
+// fresh or reclaimed block (plus its DELTA blocks on the stripe's
+// parity MNs) when needed.
+func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
+	if ob, ok := c.open[classUnits]; ok && len(ob.slots) > 0 {
+		if ep := c.cl.view.epochNow(); ep != ob.viewEpoch {
+			// Membership changed: a recovered parity MN may have
+			// relocated this block's DELTA blocks. Re-resolve them
+			// (AllocDelta is idempotent).
+			c.refreshDeltas(ob)
+			ob.viewEpoch = ep
+		}
+		return ob, nil
+	}
+	l := c.cl.L
+	n := l.Cfg.NumMNs
+	for try := 0; try < n; try++ {
+		mn := (int(c.id) + c.allocSeq + try) % n
+		node, alive := c.cl.view.nodeOf(mn)
+		if !alive {
+			continue
+		}
+		var e enc
+		e.u16(c.id)
+		e.u8(classUnits)
+		resp, err := c.ctx.RPC(node, methodAllocBlock, e.b)
+		if err != nil || len(resp) == 0 || resp[0] != stOK {
+			continue
+		}
+		c.allocSeq++
+		d := dec{b: resp[1:]}
+		idx := int(d.u32())
+		stripe := d.u32()
+		xorID := d.u8()
+		reused := d.u8() == 1
+		copyIdx := d.u32()
+		oldBits := d.bytes()
+
+		ob := &openBlock{
+			class: classUnits, mn: mn, idx: idx, stripe: stripe, xorID: xorID,
+			copyIdx: copyIdx, reused: reused,
+			slotSize:  int(classUnits) * 64,
+			viewEpoch: c.cl.view.epochNow(),
+		}
+		capSlots := l.KVSlotsPerBlock(classUnits)
+		if reused {
+			c.Stats.BlocksReused++
+			// Read the whole reused block back (§3.3.3 ②): the extra
+			// cost is bandwidth, not IOPS, hence the ≤5% impact.
+			ob.oldData = make([]byte, l.Cfg.BlockSize)
+			if err := c.readChunked(mn, l.BlockOff(idx), ob.oldData); err != nil {
+				continue
+			}
+			for s := 0; s < capSlots; s++ {
+				if layout.BitmapGet(oldBits, s) {
+					ob.slots = append(ob.slots, s)
+				}
+			}
+		} else {
+			c.Stats.BlocksAlloc++
+			for s := 0; s < capSlots; s++ {
+				ob.slots = append(ob.slots, s)
+			}
+		}
+		// Allocate the DELTA blocks on the stripe's parity MNs.
+		for j := 0; j < c.cl.Cfg.deltaCopies(); j++ {
+			pmn := l.ParityMN(stripe, j)
+			pnode, alive := c.cl.view.nodeOf(pmn)
+			if !alive {
+				continue
+			}
+			var de enc
+			de.u16(c.id)
+			de.u32(stripe)
+			de.u8(xorID)
+			de.u8(classUnits)
+			dresp, err := c.ctx.RPC(pnode, methodAllocDelta, de.b)
+			if err != nil || len(dresp) == 0 || dresp[0] != stOK {
+				continue
+			}
+			dd := dec{b: dresp[1:]}
+			ob.deltas = append(ob.deltas, deltaTarget{mn: pmn, blockOff: l.BlockOff(int(dd.u32()))})
+		}
+		c.open[classUnits] = ob
+		return ob, nil
+	}
+	return nil, ErrNoSpace
+}
+
+// refreshDeltas re-resolves an open block's DELTA-block targets after
+// a membership change (recovery may have relocated or dropped them).
+func (c *Client) refreshDeltas(ob *openBlock) {
+	l := c.cl.L
+	ob.deltas = ob.deltas[:0]
+	for j := 0; j < c.cl.Cfg.deltaCopies(); j++ {
+		pmn := l.ParityMN(ob.stripe, j)
+		pnode, alive := c.cl.view.nodeOf(pmn)
+		if !alive {
+			continue
+		}
+		var de enc
+		de.u16(c.id)
+		de.u32(ob.stripe)
+		de.u8(ob.xorID)
+		de.u8(ob.class)
+		dresp, err := c.ctx.RPC(pnode, methodAllocDelta, de.b)
+		if err != nil || len(dresp) == 0 || dresp[0] != stOK {
+			continue
+		}
+		dd := dec{b: dresp[1:]}
+		ob.deltas = append(ob.deltas, deltaTarget{mn: pmn, blockOff: l.BlockOff(int(dd.u32()))})
+	}
+}
+
+// readChunked reads a whole block in ChunkBytes pieces.
+func (c *Client) readChunked(mn int, off uint64, dst []byte) error {
+	chunk := c.cl.Cfg.ChunkBytes
+	for pos := 0; pos < len(dst); pos += chunk {
+		end := pos + chunk
+		if end > len(dst) {
+			end = len(dst)
+		}
+		addr, ok := c.cl.Addr(mn, off+uint64(pos))
+		if !ok {
+			return rdma.ErrNodeFailed
+		}
+		if err := c.vread(dst[pos:end], addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealBlock notifies the data MN (Index Version stamp) and the parity
+// MNs (fold the DELTA into the PARITY block) that the block is full
+// (Figure 6 ②③④).
+func (c *Client) sealBlock(ob *openBlock) {
+	var e enc
+	e.u32(uint32(ob.idx))
+	e.u32(ob.copyIdx)
+	if node, alive := c.cl.view.nodeOf(ob.mn); alive {
+		c.ctx.RPC(node, methodSealBlock, e.b) //nolint:errcheck // recovery rescans unsealed blocks
+	}
+	for _, dt := range ob.deltas {
+		if node, alive := c.cl.view.nodeOf(dt.mn); alive {
+			var de enc
+			de.u32(ob.stripe)
+			de.u8(ob.xorID)
+			c.ctx.RPC(node, methodEncodeDelta, de.b) //nolint:errcheck // delta stays pending, still decodable
+		}
+	}
+}
+
+// markObsolete queues a free-bitmap update for an overwritten KV pair
+// (§3.3.3 ①).
+func (c *Client) markObsolete(packed uint64, lenUnits uint8) {
+	if packed == 0 || lenUnits == 0 {
+		return
+	}
+	mnU, off := layout.UnpackAddr(packed)
+	bi := c.cl.L.BlockOfOff(off)
+	if bi < 0 {
+		return
+	}
+	slot := (off - c.cl.L.BlockOff(bi)) / (uint64(lenUnits) * 64)
+	k := pendKey{mn: int(mnU), block: bi}
+	c.pending[k] = append(c.pending[k], uint32(slot))
+	c.pendingN++
+}
+
+// FlushBitmaps sends all queued free-bitmap updates to their servers.
+// Clients flush automatically every Config.BitmapFlushOps markings;
+// harnesses call it at workload end. Flush order is sorted so
+// simulated runs stay deterministic.
+func (c *Client) FlushBitmaps() {
+	keys := make([]pendKey, 0, len(c.pending))
+	for k := range c.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mn != keys[j].mn {
+			return keys[i].mn < keys[j].mn
+		}
+		return keys[i].block < keys[j].block
+	})
+	for _, k := range keys {
+		bits := c.pending[k]
+		node, alive := c.cl.view.nodeOf(k.mn)
+		if !alive {
+			delete(c.pending, k)
+			continue
+		}
+		var e enc
+		e.u32(uint32(k.block))
+		e.u16(uint16(len(bits)))
+		for _, b := range bits {
+			e.u32(b)
+		}
+		c.ctx.RPC(node, methodFreeBits, e.b) //nolint:errcheck // obsolete hints are advisory
+		delete(c.pending, k)
+	}
+	c.pendingN = 0
+}
+
+// Close flushes pending state (bitmap updates); open blocks stay
+// unsealed and are safely rescanned by recovery.
+func (c *Client) Close() { c.FlushBitmaps() }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/rdma"
+)
+
+// TestClientCleanRestartAdoptsBlocks restarts a client identity and
+// checks that it re-adopts its unfilled blocks (no leaked slots) and
+// can keep writing.
+func TestClientCleanRestartAdoptsBlocks(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	cli := tc.cl.NewClient()
+	done := false
+	cn := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn, "life1", func(ctx rdmaCtx) {
+		cli.Attach(ctx)
+		for i := 0; i < 50; i++ {
+			if err := cli.Insert(key(i), val(i, 0)); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+		cli.SimulateCrash()
+		done = true
+	})
+	waitDone(t, tc, &done)
+
+	var adopted int
+	done = false
+	cn2 := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn2, "life2", func(ctx rdmaCtx) {
+		if err := cli.Restart(ctx); err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		for _, ob := range cli.open {
+			adopted += len(ob.slots)
+		}
+		for i := 50; i < 100; i++ {
+			if err := cli.Insert(key(i), val(i, 0)); err != nil {
+				t.Errorf("post-restart insert: %v", err)
+				return
+			}
+		}
+		for i := 0; i < 100; i++ {
+			got, err := cli.Search(key(i))
+			if err != nil || !bytes.Equal(got, val(i, 0)) {
+				t.Errorf("post-restart search %d: %v", i, err)
+				return
+			}
+		}
+		done = true
+	})
+	waitDone(t, tc, &done)
+	if adopted == 0 {
+		t.Error("restart adopted no free slots (leak)")
+	}
+	tc.run(50 * time.Millisecond)
+	stripeParityInvariant(t, tc)
+}
+
+// TestClientCrashTornWriteRepaired simulates a CN crash in the middle
+// of a KV+delta batch: the data slot landed torn and only one delta
+// copy landed. Restart must roll the slot back and restore the
+// data/delta invariant.
+func TestClientCrashTornWriteRepaired(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	cli := tc.cl.NewClient()
+	var ob *openBlock
+	done := false
+	cn := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn, "life1", func(ctx rdmaCtx) {
+		cli.Attach(ctx)
+		for i := 0; i < 30; i++ {
+			if err := cli.Insert(key(i), val(i, 0)); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+		for _, b := range cli.open {
+			ob = b
+		}
+		cli.SimulateCrash()
+		done = true
+	})
+	waitDone(t, tc, &done)
+	if ob == nil || len(ob.slots) == 0 {
+		t.Fatal("no open block with free slots to corrupt")
+	}
+
+	// Forge the crash artifacts directly in pool memory: a torn KV in
+	// the next free slot (leading fence written, trailing fence not)
+	// and a delta written to only the first parity MN.
+	l := tc.cl.L
+	slot := ob.slots[0]
+	lo := l.BlockOff(ob.idx) + uint64(slot*ob.slotSize)
+	node, _ := tc.cl.view.nodeOf(ob.mn)
+	mem := tc.pl.DirectMemory(node)
+	torn := make([]byte, ob.slotSize)
+	layout.EncodeKV(torn, []byte("torn-key"), bytes.Repeat([]byte("T"), 40), 7, 1, false)
+	torn[len(torn)-1] = 0 // crash before the tail landed
+	copy(mem[lo:], torn)
+	if len(ob.deltas) > 0 {
+		dt := ob.deltas[0]
+		dnode, _ := tc.cl.view.nodeOf(dt.mn)
+		dmem := tc.pl.DirectMemory(dnode)
+		full := make([]byte, ob.slotSize)
+		layout.EncodeKV(full, []byte("torn-key"), bytes.Repeat([]byte("T"), 40), 7, 1, false)
+		copy(dmem[dt.blockOff+uint64(slot*ob.slotSize):], full)
+	}
+
+	done = false
+	cn2 := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn2, "life2", func(ctx rdmaCtx) {
+		if err := cli.Restart(ctx); err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		// All committed keys intact.
+		for i := 0; i < 30; i++ {
+			got, err := cli.Search(key(i))
+			if err != nil || !bytes.Equal(got, val(i, 0)) {
+				t.Errorf("search %d after repair: %v", i, err)
+				return
+			}
+		}
+		done = true
+	})
+	waitDone(t, tc, &done)
+
+	// The torn slot must be rolled back to zero on the data MN and on
+	// every delta copy.
+	for i := 0; i < ob.slotSize; i++ {
+		if mem[lo+uint64(i)] != 0 {
+			t.Fatalf("torn data slot not rolled back (byte %d)", i)
+		}
+	}
+	for _, dt := range ob.deltas {
+		dnode, _ := tc.cl.view.nodeOf(dt.mn)
+		dmem := tc.pl.DirectMemory(dnode)
+		base := dt.blockOff + uint64(slot*ob.slotSize)
+		for i := 0; i < ob.slotSize; i++ {
+			if dmem[base+uint64(i)] != 0 {
+				t.Fatalf("stray delta not cleared (byte %d)", i)
+			}
+		}
+	}
+	tc.run(50 * time.Millisecond)
+	stripeParityInvariant(t, tc)
+}
+
+// TestMixedCrash: a CN crash followed quickly by an MN crash (§3.4.3):
+// restart clients first, then MN recovery, then verify everything.
+func TestMixedCrash(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	tc.cl.master.AddSpare()
+	cli := tc.cl.NewClient()
+	expect := make(map[int][]byte)
+	done := false
+	cn := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn, "life1", func(ctx rdmaCtx) {
+		cli.Attach(ctx)
+		for i := 0; i < 120; i++ {
+			v := val(i, 0)
+			if err := cli.Insert(key(i), v); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			expect[i] = v
+		}
+		cli.SimulateCrash()
+		done = true
+	})
+	waitDone(t, tc, &done)
+	tc.run(2 * tc.cl.Cfg.CkptInterval)
+
+	// Restart the client, then crash an MN while it writes more.
+	done = false
+	cn2 := tc.pl.AddComputeNode()
+	tc.pl.Spawn(cn2, "life2", func(ctx rdmaCtx) {
+		if err := cli.Restart(ctx); err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		for i := 120; i < 180; i++ {
+			v := val(i, 1)
+			if err := cli.Insert(key(i), v); err != nil {
+				t.Errorf("post-restart insert: %v", err)
+				return
+			}
+			expect[i] = v
+		}
+		done = true
+	})
+	tc.run(time.Millisecond)
+	tc.cl.FailMN(2)
+	waitDone(t, tc, &done)
+	for i := 0; i < 20000; i++ {
+		tc.run(time.Millisecond)
+		if _, _, ready := tc.cl.MNState(2); ready {
+			break
+		}
+	}
+	tc.verifyAll(t, expect)
+}
+
+// waitDone advances virtual time until *flag or a deadline.
+func waitDone(t *testing.T, tc *testCluster, flag *bool) {
+	t.Helper()
+	for i := 0; i < 120000 && !*flag; i++ {
+		tc.run(time.Millisecond)
+	}
+	if !*flag {
+		t.Fatal("virtual deadline waiting for process")
+	}
+}
+
+// rdmaCtx aliases the process context type for test readability.
+type rdmaCtx = rdma.Ctx

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/layout"
+	"repro/internal/rdma"
+)
+
+// Cluster wires one Aceso coding group onto a fabric: n memory nodes
+// running servers, any number of clients on compute nodes, and a
+// master providing the membership service (§2.1). Logical MN ids are
+// stable across failures — when MN i crashes, the master re-serves its
+// role on a spare physical node and the view maps logical id i to the
+// new node. All addresses stored in pool memory (index slots, delta
+// addresses) use logical ids, so they survive recovery.
+type Cluster struct {
+	Cfg  Config
+	L    *layout.Layout
+	pl   rdma.Platform
+	code erasure.Code
+
+	view    view
+	servers []*Server
+	master  *Master
+
+	mu      sync.Mutex
+	nextCli uint16
+}
+
+// view is the membership state the master maintains and disseminates.
+// In the paper the master pushes failure notifications to all clients;
+// here clients read the shared view directly, which models the same
+// information flow without simulating the notification fan-out.
+type view struct {
+	mu sync.Mutex
+	// epoch increments on every membership change (failure injected or
+	// recovery completed); clients use it to refresh cached remote
+	// addresses such as DELTA-block targets.
+	epoch uint64
+	// node[i] is the physical node currently serving logical MN i.
+	node []rdma.NodeID
+	// failed[i]: MN i is down and not yet re-served.
+	failed []bool
+	// indexReady[i]: MN i's Meta and Index areas are usable (tier-2
+	// recovery complete); writes and degraded reads may proceed.
+	indexReady []bool
+	// blocksReady[i]: MN i's Block Area is fully recovered; reads are
+	// no longer degraded.
+	blocksReady []bool
+}
+
+func (v *view) snapshotMN(mn int) (node rdma.NodeID, failed, idxReady, blkReady bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.node[mn], v.failed[mn], v.indexReady[mn], v.blocksReady[mn]
+}
+
+func (v *view) nodeOf(mn int) (rdma.NodeID, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.node[mn], !v.failed[mn]
+}
+
+func (v *view) epochNow() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// NewCluster creates the coding group's memory nodes and servers on
+// the platform. Call StartServers (and StartMaster for checkpointing
+// and failure handling) before spawning clients.
+func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
+	l, err := layout.NewLayout(cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Cfg: cfg, L: l, pl: pl}
+	cl.code, err = cfg.newCode()
+	if err != nil {
+		return nil, err
+	}
+	if cl.code.M() != cfg.Layout.ParityShards {
+		return nil, fmt.Errorf("core: code %q has %d parities, layout wants %d",
+			cfg.Code, cl.code.M(), cfg.Layout.ParityShards)
+	}
+	if int(cfg.Layout.BlockSize)%cl.code.SegmentAlign() != 0 {
+		return nil, fmt.Errorf("core: block size %d not aligned to code segment %d",
+			cfg.Layout.BlockSize, cl.code.SegmentAlign())
+	}
+	n := cfg.Layout.NumMNs
+	cl.view.node = make([]rdma.NodeID, n)
+	cl.view.failed = make([]bool, n)
+	cl.view.indexReady = make([]bool, n)
+	cl.view.blocksReady = make([]bool, n)
+	for i := 0; i < n; i++ {
+		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: l.MemBytes(), CPUCores: rdma.NumMNCores})
+		cl.view.node[i] = node
+		cl.view.indexReady[i] = true
+		cl.view.blocksReady[i] = true
+		cl.servers = append(cl.servers, newServer(cl, i, node))
+	}
+	return cl, nil
+}
+
+// StartServers installs RPC handlers and spawns the per-MN daemons
+// (erasure encoder, checkpoint sender/receiver, meta replicator). On
+// distributed fabrics only the MNs whose memory is locally accessible
+// are started — each daemon process starts its own.
+func (cl *Cluster) StartServers() {
+	for _, s := range cl.servers {
+		if cl.pl.Memory(s.node) == nil {
+			continue
+		}
+		s.start()
+	}
+}
+
+// StartMaster spawns the master process (checkpoint round trigger,
+// lease-based liveness probing, recovery orchestration) on its own
+// compute node.
+func (cl *Cluster) StartMaster() *Master {
+	node := cl.pl.AddComputeNode()
+	cl.master = newMaster(cl, node)
+	cl.master.start()
+	return cl.master
+}
+
+// Addr resolves a (logical MN, offset) pair to a fabric address using
+// the current view. The boolean reports whether the MN is currently
+// served.
+func (cl *Cluster) Addr(mn int, off uint64) (rdma.GlobalAddr, bool) {
+	node, ok := cl.view.nodeOf(mn)
+	return rdma.GlobalAddr{Node: node, Off: off}, ok
+}
+
+// PackedAddr resolves a 48-bit packed logical address from an index
+// slot or metadata record.
+func (cl *Cluster) PackedAddr(a uint64) (rdma.GlobalAddr, bool) {
+	mn, off := layout.UnpackAddr(a)
+	return cl.Addr(int(mn), off)
+}
+
+// Server returns the server of logical MN i (test and recovery use).
+func (cl *Cluster) Server(mn int) *Server { return cl.servers[mn] }
+
+// MNNode returns the physical node currently serving logical MN i
+// (harness instrumentation).
+func (cl *Cluster) MNNode(mn int) rdma.NodeID {
+	node, _ := cl.view.nodeOf(mn)
+	return node
+}
+
+// Master returns the cluster's master (nil before StartMaster).
+func (cl *Cluster) Master() *Master { return cl.master }
+
+// Reclaimed returns the total count of blocks handed out through
+// delta-based reclamation across all servers.
+func (cl *Cluster) Reclaimed() int {
+	total := 0
+	for _, s := range cl.servers {
+		s.mu.Lock()
+		total += s.reclaimed
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// NewClient allocates a client identity. Spawn its process yourself:
+//
+//	cli := cl.NewClient()
+//	pl.Spawn(cn, "client", func(ctx rdma.Ctx) { cli.Attach(ctx); ... })
+func (cl *Cluster) NewClient() *Client {
+	cl.mu.Lock()
+	cl.nextCli++
+	id := cl.nextCli
+	cl.mu.Unlock()
+	return newClient(cl, id)
+}
+
+// SpawnClient spawns fn as a client process on compute node cn.
+func (cl *Cluster) SpawnClient(cn rdma.NodeID, name string, fn func(*Client)) *Client {
+	cli := cl.NewClient()
+	cl.pl.Spawn(cn, name, func(ctx rdma.Ctx) {
+		cli.Attach(ctx)
+		fn(cli)
+	})
+	return cli
+}

@@ -1,0 +1,172 @@
+// Package core implements Aceso itself: the memory-node server (space
+// allocation, differential index checkpointing, offline erasure
+// coding, delta-based space reclamation), the client (one-sided KV
+// operations with slot versioning and the slot-address index cache),
+// the master (lease-based membership and failure handling) and the
+// tiered recovery machinery. It is the paper's contribution; everything
+// it builds on lives in the substrate packages (rdma, sim, erasure,
+// lz4, layout, racehash).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/layout"
+)
+
+// CPURates calibrates how much memory-node CPU time background kernels
+// consume in the simulated cost model (bytes per second). The defaults
+// follow Table 2's measured kernel throughputs and typical single-core
+// memcpy/LZ4 rates.
+type CPURates struct {
+	Memcpy     float64 // checkpoint snapshot copy
+	Xor        float64 // XOR-code encode/decode kernel
+	RS         float64 // Reed-Solomon encode/decode kernel
+	Compress   float64 // LZ4 compression of checkpoint deltas
+	Decompress float64 // LZ4 decompression
+}
+
+// DefaultCPURates returns the calibrated kernel rates (DESIGN.md §5).
+func DefaultCPURates() CPURates {
+	return CPURates{
+		Memcpy:     10e9,
+		Xor:        20.6e9, // Table 2 "Test Tpt" XOR
+		RS:         12.6e9, // Table 2 "Test Tpt" RS
+		Compress:   2e9,
+		Decompress: 6e9,
+	}
+}
+
+// codeRate returns the erasure kernel rate for the configured code.
+func (r CPURates) codeRate(code string) float64 {
+	if code == "rs" {
+		return r.RS
+	}
+	return r.Xor
+}
+
+// Config parameterises an Aceso coding group.
+type Config struct {
+	// Layout fixes the group geometry and per-MN memory layout.
+	Layout layout.Config
+	// Code selects the erasure code: "xor" (default, the paper's
+	// choice) or "rs" (the Table 2 comparator).
+	Code string
+	// CkptInterval is the index checkpointing period (paper default
+	// 500 ms).
+	CkptInterval time.Duration
+	// CacheSlotAddr enables caching index-slot addresses alongside
+	// values in the client cache (§3.5.1); disabling it reproduces the
+	// "+CKPT" configuration of the factor analysis (Figure 13).
+	CacheSlotAddr bool
+	// ReclaimObsolete is the obsolete-KV fraction above which a DATA
+	// block becomes a reclamation candidate (paper default 0.75).
+	ReclaimObsolete float64
+	// ReclaimFree is the free-space fraction below which reclamation
+	// kicks in (paper default 0.25).
+	ReclaimFree float64
+	// BitmapFlushOps is how many obsolete-markings a client batches
+	// before flushing free-bitmap updates to the servers.
+	BitmapFlushOps int
+	// EncodePoll is the MN encoder/applier daemon poll period.
+	EncodePoll time.Duration
+	// LockRetry and LockTimeout govern Meta-lock contention handling
+	// (§3.2.2 remarks: retry, then force-relock after a timeout).
+	LockRetry   time.Duration
+	LockTimeout time.Duration
+	// MetaSyncInterval is the period of the asynchronous Meta Area
+	// replication daemon.
+	MetaSyncInterval time.Duration
+	// ChunkBytes is the transfer granularity for bulk RDMA writes
+	// (checkpoint deltas, recovery reads), so they interleave with
+	// foreground traffic instead of head-of-line blocking the NIC.
+	ChunkBytes int
+	// RecoveryPipeline enables the two-stage recovery pipeline
+	// (§3.4.1 remark 1: overlap stripe fetches with decoding).
+	// Disabling it is an ablation knob.
+	RecoveryPipeline bool
+	// CkptRaw disables differential checkpointing: every round ships
+	// the full, uncompressed index snapshot (the strawman of Figure
+	// 1(b)). Ablation knob; recovery still works because the hosted
+	// copy is overwritten wholesale.
+	CkptRaw bool
+	// RecoveryHelpers distributes tier-3 block decoding across this
+	// many helper compute nodes (the paper's future-work extension,
+	// modelled on RAMCloud's distributed recovery): each helper
+	// fetches stripe survivors, decodes on its own CPU and writes the
+	// rebuilt block to the replacement MN. 0 keeps all decoding on the
+	// replacement node.
+	RecoveryHelpers int
+	// DeltaCopies is how many of the stripe's parity MNs receive each
+	// KV's delta write. 0 (the default) means all ParityShards, which
+	// keeps unsealed data recoverable at the full two-failure bound;
+	// 1 reproduces the paper's single-DELTA-block prose (an ablation
+	// that trades one write per KV against protection of unsealed
+	// blocks).
+	DeltaCopies int
+	// Rates calibrates simulated CPU kernel costs.
+	Rates CPURates
+}
+
+// DefaultConfig returns a scaled-down version of the paper's setup
+// (§4.1): a 5-MN coding group (3 data + 2 parity per stripe), 500 ms
+// checkpoint interval, XOR code, 2 MB blocks.
+func DefaultConfig() Config {
+	return Config{
+		Layout: layout.Config{
+			NumMNs:       5,
+			ParityShards: 2,
+			IndexBytes:   1 << 21, // 2 MB index per MN (scaled from 256 MB)
+			BlockSize:    2 << 20, // 2 MB blocks (paper default)
+			StripeRows:   24,
+			PoolBlocks:   16,
+			CkptHosts:    1,
+			MetaReplicas: 2,
+		},
+		Code:             "xor",
+		CkptInterval:     500 * time.Millisecond,
+		CacheSlotAddr:    true,
+		ReclaimObsolete:  0.75,
+		ReclaimFree:      0.25,
+		BitmapFlushOps:   64,
+		EncodePoll:       50 * time.Microsecond,
+		LockRetry:        5 * time.Microsecond,
+		LockTimeout:      500 * time.Microsecond,
+		MetaSyncInterval: 200 * time.Microsecond,
+		ChunkBytes:       64 << 10,
+		RecoveryPipeline: true,
+		Rates:            DefaultCPURates(),
+	}
+}
+
+// newCode instantiates the configured erasure code for k data shards.
+func (c *Config) newCode() (erasure.Code, error) {
+	k := c.Layout.K()
+	switch c.Code {
+	case "", "xor":
+		return erasure.NewXor(k)
+	case "rs":
+		return erasure.NewRS(k, c.Layout.ParityShards)
+	default:
+		return nil, fmt.Errorf("core: unknown erasure code %q", c.Code)
+	}
+}
+
+// deltaCopies resolves the effective per-KV delta fan-out.
+func (c *Config) deltaCopies() int {
+	if c.DeltaCopies <= 0 || c.DeltaCopies > c.Layout.ParityShards {
+		return c.Layout.ParityShards
+	}
+	return c.DeltaCopies
+}
+
+// cpuTime converts a byte count processed at rate bytes/sec into CPU
+// time.
+func cpuTime(bytes int, rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / rate * 1e9)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/racehash"
+)
+
+// debugDumpKey prints the index slot chain and KV bytes for one key.
+func debugDumpKey(t *testing.T, tc *testCluster, k []byte) {
+	h := racehash.Hash(k)
+	mn := racehash.HomeMN(h, tc.cl.Cfg.Layout.NumMNs)
+	fp := racehash.Fingerprint(h)
+	l := tc.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	node, _ := tc.cl.view.nodeOf(mn)
+	mem := tc.pl.DirectMemory(node)
+	for _, b := range []uint64{i1, i2} {
+		for s := 0; s < layout.BucketSlots; s++ {
+			off := l.SlotOff(b, s)
+			w := binary.LittleEndian.Uint64(mem[off:])
+			if w == 0 {
+				continue
+			}
+			a := layout.UnpackAtomic(w)
+			if a.FP != fp {
+				continue
+			}
+			meta := layout.UnpackMeta(binary.LittleEndian.Uint64(mem[off+8:]))
+			kmn, koff := layout.UnpackAddr(a.Addr)
+			knode, alive := tc.cl.view.nodeOf(int(kmn))
+			t.Logf("key %s: slot b=%d s=%d ver=%d addr=mn%d+0x%x len=%d epoch=%d alive=%v",
+				k, b, s, a.Ver, kmn, koff, meta.Len, meta.Epoch, alive)
+			kmem := tc.pl.DirectMemory(knode)
+			n := int(meta.Len) * 64
+			if n == 0 {
+				n = 64
+			}
+			buf := kmem[koff : koff+uint64(n)]
+			kv, err := layout.DecodeKV(buf)
+			t.Logf("  kv decode: err=%v kv=%v fence0=%d fenceEnd=%d ver=%x",
+				err, kv != nil, buf[0], buf[n-1], binary.LittleEndian.Uint64(buf[8:]))
+			if kv != nil {
+				t.Logf("  key=%q tomb=%v vlen=%d", kv.Key, kv.Tombstone, len(kv.Val))
+			}
+			bi := l.BlockOfOff(koff)
+			if bi >= 0 {
+				rOff := l.RecordOff(bi)
+				rec := layout.DecodeRecord(kmem[rOff : rOff+layout.RecordSize])
+				t.Logf("  block %d role=%v class=%d iv=%d cli=%d stripe=%d", bi, rec.Role, rec.SizeClass, rec.IndexVersion, rec.CliID, rec.StripeID)
+			}
+		}
+	}
+}
+
+// debugHook is called by the soak on first failure.
+func debugHook(t *testing.T, tc *testCluster, k []byte) {
+	debugDumpKey(t, tc, k)
+	debugDumpBlock(t, tc, 1, 3, 64)
+	for mn := 0; mn < tc.cl.Cfg.Layout.NumMNs; mn++ {
+		f, i, b := tc.cl.MNState(mn)
+		t.Logf("mn%d failed=%v idxReady=%v blocksReady=%v", mn, f, i, b)
+	}
+}
+
+// debugDumpBlock prints slot fences across a block.
+func debugDumpBlock(t *testing.T, tc *testCluster, mn, bi, slotSize int) {
+	node, _ := tc.cl.view.nodeOf(mn)
+	mem := tc.pl.DirectMemory(node)
+	l := tc.cl.L
+	base := l.BlockOff(bi)
+	n := int(l.Cfg.BlockSize) / slotSize
+	line := ""
+	for s := 0; s < n; s++ {
+		b := mem[base+uint64(s*slotSize)]
+		switch {
+		case b == 0:
+			line += "."
+		case b == 1:
+			line += "1"
+		case b == 2:
+			line += "2"
+		default:
+			line += "?"
+		}
+	}
+	t.Logf("mn%d block %d fences: %s", mn, bi, line)
+	// Parity record for this stripe on each parity MN.
+	stripe := uint32(bi)
+	for j := 0; j < l.Cfg.ParityShards; j++ {
+		pmn := l.ParityMN(stripe, j)
+		pnode, _ := tc.cl.view.nodeOf(pmn)
+		pmem := tc.pl.DirectMemory(pnode)
+		rec := layout.DecodeRecord(pmem[l.RecordOff(bi) : l.RecordOff(bi)+layout.RecordSize])
+		t.Logf("  parity mn%d: role=%v xorMap=%b deltaAddr=%v", pmn, rec.Role, rec.XORMap, rec.DeltaAddr[:3])
+	}
+}

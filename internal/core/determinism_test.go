@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSimulationDeterminism runs an identical multi-client workload
+// twice on fresh engines and requires bit-identical virtual timing —
+// the property that makes every benchmark in this repository
+// reproducible. (Map-iteration order must never leak into the event
+// order; bitmap flushes, meta replication and recovery all iterate in
+// sorted order for this reason.)
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		tc := newTestCluster(t, nil)
+		var casTotal uint64
+		fns := make([]func(*Client), 4)
+		for w := 0; w < 4; w++ {
+			w := w
+			fns[w] = func(c *Client) {
+				for i := 0; i < 120; i++ {
+					if err := c.Update(key(w*37+i%60), val(i, w)); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+					if i%3 == 0 {
+						if _, err := c.Search(key(w*37 + i%60)); err != nil {
+							t.Errorf("search: %v", err)
+							return
+						}
+					}
+				}
+				c.FlushBitmaps()
+				casTotal += c.Stats.CASIssued
+			}
+		}
+		tc.runClients(t, 60*time.Second, fns...)
+		return tc.pl.Engine().Now(), casTotal
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual end times diverge: %v vs %v", t1, t2)
+	}
+	if c1 != c2 {
+		t.Fatalf("CAS counts diverge: %d vs %d", c1, c2)
+	}
+}
+
+// TestDeterministicRecovery repeats a crash-recovery sequence and
+// requires identical recovery reports.
+func TestDeterministicRecovery(t *testing.T) {
+	run := func() string {
+		tc := newTestCluster(t, nil)
+		tc.cl.master.AddSpare()
+		tc.runClients(t, 60*time.Second, func(c *Client) {
+			for i := 0; i < 150; i++ {
+				if err := c.Insert(key(i), val(i, 0)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		})
+		tc.run(2 * tc.cl.Cfg.CkptInterval)
+		tc.cl.FailMN(1)
+		for i := 0; i < 20000; i++ {
+			tc.run(time.Millisecond)
+			if _, _, ready := tc.cl.MNState(1); ready {
+				break
+			}
+		}
+		rep := tc.cl.master.Reports[0]
+		return fmt.Sprintf("%v/%v/%v/%v/%d/%d/%d",
+			rep.ReadMeta, rep.ReadCkpt, rep.IndexDone, rep.Total,
+			rep.LBlockCount, rep.KVCount, rep.OldLBlockCount)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("recovery reports diverge:\n  %s\n  %s", a, b)
+	}
+}
+
+// TestRawCheckpointMode checks the Figure 1(b) ablation knob: with
+// CkptRaw the hosted copy is still correct and recovery still works.
+func TestRawCheckpointMode(t *testing.T) {
+	tc := newTestCluster(t, func(cfg *Config) { cfg.CkptRaw = true })
+	tc.cl.master.AddSpare()
+	const n = 150
+	expect := make(map[int][]byte)
+	tc.runClients(t, 60*time.Second, func(c *Client) {
+		for i := 0; i < n; i++ {
+			v := val(i, 0)
+			if err := c.Insert(key(i), v); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			expect[i] = v
+		}
+	})
+	tc.run(2 * tc.cl.Cfg.CkptInterval)
+	tc.cl.FailMN(3)
+	for i := 0; i < 20000; i++ {
+		tc.run(time.Millisecond)
+		if _, _, ready := tc.cl.MNState(3); ready {
+			break
+		}
+	}
+	tc.verifyAll(t, expect)
+	rep := tc.cl.master.Reports[0]
+	if rep.CkptVersion == 0 {
+		t.Error("raw checkpointing never delivered a hosted copy")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// Master is the reliable coordinator the failure model assumes (§2.1):
+// it runs the lease-based membership service, triggers checkpoint
+// rounds, and orchestrates MN recovery onto spare nodes. Its own fault
+// tolerance (state-machine replication) is out of scope, as in the
+// paper.
+type Master struct {
+	cl   *Cluster
+	node rdma.NodeID
+
+	mu     sync.Mutex
+	round  uint64
+	spares []rdma.NodeID
+	failQ  []int
+	// Reports collects recovery reports for harness inspection.
+	Reports []*RecoveryReport
+	// DetectDelay models the membership service's failure-detection
+	// latency (lease expiry + notification).
+	DetectDelay time.Duration
+}
+
+func newMaster(cl *Cluster, node rdma.NodeID) *Master {
+	return &Master{cl: cl, node: node, DetectDelay: time.Millisecond}
+}
+
+// AddSpare registers an idle memory node the master may use to replace
+// a crashed MN.
+func (m *Master) AddSpare() rdma.NodeID {
+	node := m.cl.pl.AddMemNode(rdma.MemNodeConfig{MemBytes: m.cl.L.MemBytes(), CPUCores: rdma.NumMNCores})
+	m.mu.Lock()
+	m.spares = append(m.spares, node)
+	m.mu.Unlock()
+	return node
+}
+
+func (m *Master) start() {
+	m.cl.pl.Spawn(m.node, "master-ckpt", m.ckptLoop)
+	m.cl.pl.Spawn(m.node, "master-recovery", m.recoveryLoop)
+}
+
+// ckptLoop drives checkpoint rounds at the configured interval using
+// the two-phase trigger (prepare on every MN, then snapshot; see
+// Server.handleCkptPrepare for why two phases are needed).
+func (m *Master) ckptLoop(ctx rdma.Ctx) {
+	for {
+		ctx.Sleep(m.cl.Cfg.CkptInterval)
+		m.mu.Lock()
+		m.round++
+		round := m.round
+		m.mu.Unlock()
+		n := m.cl.Cfg.Layout.NumMNs
+		var e enc
+		e.u64(round)
+		for mn := 0; mn < n; mn++ {
+			if node, alive := m.cl.view.nodeOf(mn); alive {
+				ctx.RPC(node, methodCkptPrepare, e.b) //nolint:errcheck // failed MN joins next round
+			}
+		}
+		for mn := 0; mn < n; mn++ {
+			if node, alive := m.cl.view.nodeOf(mn); alive {
+				ctx.RPC(node, methodCkptSnapshot, e.b) //nolint:errcheck // failed MN joins next round
+			}
+		}
+	}
+}
+
+// recoveryLoop watches for failure notifications and re-serves crashed
+// MNs on spare nodes.
+func (m *Master) recoveryLoop(ctx rdma.Ctx) {
+	for {
+		ctx.Sleep(m.DetectDelay)
+		m.mu.Lock()
+		if len(m.failQ) == 0 || len(m.spares) == 0 {
+			m.mu.Unlock()
+			continue
+		}
+		mn := m.failQ[0]
+		m.failQ = m.failQ[1:]
+		spare := m.spares[0]
+		m.spares = m.spares[1:]
+		m.mu.Unlock()
+		if m.cl.pl.Memory(spare) == nil {
+			// The spare itself died while idle; try the next one.
+			m.mu.Lock()
+			m.failQ = append([]int{mn}, m.failQ...)
+			m.mu.Unlock()
+			continue
+		}
+		m.recoverOnto(ctx, mn, spare)
+	}
+}
+
+// recoverOnto starts a new server for logical MN mn on the spare node
+// and runs tiered recovery there (§3.4.1). The master blocks until the
+// Index Area is back (functionality restored); tier 3 continues in the
+// background on the new node.
+func (m *Master) recoverOnto(ctx rdma.Ctx, mn int, spare rdma.NodeID) {
+	cl := m.cl
+	cl.view.mu.Lock()
+	cl.view.node[mn] = spare
+	cl.view.mu.Unlock()
+
+	cl.pl.Spawn(spare, "recover-mn", func(rctx rdma.Ctx) {
+		rep := runRecovery(rctx, cl, mn)
+		if rep == nil {
+			return // the spare itself died mid-recovery
+		}
+		m.mu.Lock()
+		m.Reports = append(m.Reports, rep)
+		m.mu.Unlock()
+	})
+	// Wait (politely, in virtual time) for tier-2 completion before
+	// accepting the next failure. If the spare itself fail-stops, give
+	// up on this attempt — FailMN has already re-queued the logical MN
+	// and a later loop iteration retries with another spare.
+	for {
+		ctx.Sleep(500 * time.Microsecond)
+		node, failed, idxReady, _ := cl.view.snapshotMN(mn)
+		if !failed && idxReady {
+			return
+		}
+		if node != spare || cl.pl.Memory(spare) == nil {
+			return
+		}
+	}
+}
+
+// FailMN injects a fail-stop MN crash: the node's memory is lost, its
+// server daemons stop, clients see ErrNodeFailed, and the master is
+// notified (as the lease-based membership service would, §3.4).
+func (cl *Cluster) FailMN(mn int) {
+	cl.servers[mn].stop()
+	cl.view.mu.Lock()
+	node := cl.view.node[mn]
+	cl.view.failed[mn] = true
+	cl.view.indexReady[mn] = false
+	cl.view.blocksReady[mn] = false
+	cl.view.epoch++
+	cl.view.mu.Unlock()
+	cl.pl.Fail(node)
+	if cl.master != nil {
+		cl.master.mu.Lock()
+		cl.master.failQ = append(cl.master.failQ, mn)
+		cl.master.mu.Unlock()
+	}
+}
+
+// viewSnapshot is used by recovery code to detect that its own node
+// was re-assigned or fail-stopped.
+func (v *view) nodeIs(mn int, node rdma.NodeID) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.node[mn] == node
+}
+
+// MNState reports a logical MN's recovery state (for harnesses).
+func (cl *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
+	_, f, i, b := cl.view.snapshotMN(mn)
+	return f, i, b
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRandomOpsAgainstModel drives a random op mix from several
+// clients over a moderate keyspace and checks every SEARCH result
+// against an in-memory model. Keys are sharded per client so the model
+// stays deterministic under concurrency.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	const clients, keysEach, ops = 4, 40, 400
+	fns := make([]func(*Client), clients)
+	for w := 0; w < clients; w++ {
+		w := w
+		fns[w] = func(c *Client) {
+			rng := rand.New(rand.NewSource(int64(7000 + w)))
+			model := make(map[string][]byte)
+			mkey := func(i int) []byte { return []byte(fmt.Sprintf("m%02d-%04d", w, i)) }
+			for n := 0; n < ops; n++ {
+				i := rng.Intn(keysEach)
+				k := mkey(i)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // write
+					v := []byte(fmt.Sprintf("w%d-n%d-%s", w, n, bytes.Repeat([]byte("z"), rng.Intn(300))))
+					if err := c.Update(k, v); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+					model[string(k)] = v
+				case 4: // delete
+					err := c.Delete(k)
+					_, exists := model[string(k)]
+					if exists && err != nil {
+						t.Errorf("delete live key: %v", err)
+						return
+					}
+					if !exists && !errors.Is(err, ErrNotFound) {
+						t.Errorf("delete missing key: %v", err)
+						return
+					}
+					delete(model, string(k))
+				default: // search
+					got, err := c.Search(k)
+					want, exists := model[string(k)]
+					if exists {
+						if err != nil || !bytes.Equal(got, want) {
+							t.Errorf("search %s: err=%v", k, err)
+							return
+						}
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Errorf("search deleted %s: err=%v", k, err)
+						return
+					}
+				}
+			}
+		}
+	}
+	tc.runClients(t, 300*time.Second, fns...)
+}
+
+// TestRandomOpsWithCrash interleaves an MN crash with the random
+// workload; the clients stall on the affected partition and must still
+// agree with their models afterwards.
+func TestRandomOpsWithCrash(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	tc.cl.master.AddSpare()
+	const clients, keysEach, ops = 3, 30, 250
+	models := make([]map[string][]byte, clients)
+	fns := make([]func(*Client), clients)
+	for w := 0; w < clients; w++ {
+		w := w
+		models[w] = make(map[string][]byte)
+		fns[w] = func(c *Client) {
+			rng := rand.New(rand.NewSource(int64(9000 + w)))
+			mkey := func(i int) []byte { return []byte(fmt.Sprintf("c%02d-%04d", w, i)) }
+			for n := 0; n < ops; n++ {
+				i := rng.Intn(keysEach)
+				k := mkey(i)
+				if rng.Intn(2) == 0 {
+					v := []byte(fmt.Sprintf("w%d-n%d", w, n))
+					if err := c.Update(k, v); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+					models[w][string(k)] = v
+				} else {
+					got, err := c.Search(k)
+					want, exists := models[w][string(k)]
+					if exists && (err != nil || !bytes.Equal(got, want)) {
+						t.Errorf("mid-crash search %s: %v", k, err)
+						return
+					}
+				}
+			}
+		}
+	}
+	// Start clients, crash an MN a moment in, let everything finish.
+	done := 0
+	for i, fn := range fns {
+		fn := fn
+		cn := tc.pl.AddComputeNode()
+		tc.cl.SpawnClient(cn, fmt.Sprintf("chaos%d", i), func(c *Client) {
+			fn(c)
+			done++
+		})
+	}
+	tc.run(500 * time.Microsecond)
+	tc.cl.FailMN(3)
+	for i := 0; i < 120000 && done < clients; i++ {
+		tc.run(time.Millisecond)
+	}
+	if done < clients {
+		t.Fatal("clients stalled after crash")
+	}
+	for i := 0; i < 30000; i++ {
+		tc.run(time.Millisecond)
+		if _, _, ready := tc.cl.MNState(3); ready {
+			break
+		}
+	}
+	// Final verification from a cold client.
+	tc.runClients(t, 120*time.Second, func(c *Client) {
+		for w := 0; w < clients; w++ {
+			for k, want := range models[w] {
+				got, err := c.Search([]byte(k))
+				if err != nil || !bytes.Equal(got, want) {
+					t.Errorf("final %s: %v", k, err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestSearchWhileWriterRaces checks read-your-writes visibility across
+// clients: a reader polling a key always observes one of the writer's
+// committed values, never garbage or a torn pair.
+func TestSearchWhileWriterRaces(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	k := []byte("raced-key")
+	const rounds = 150
+	valid := make(map[string]bool)
+	valid[""] = true // not-yet-inserted
+	writerDone := false
+	readerDone := false
+	cn1 := tc.pl.AddComputeNode()
+	cn2 := tc.pl.AddComputeNode()
+	tc.cl.SpawnClient(cn1, "writer", func(c *Client) {
+		for n := 0; n < rounds; n++ {
+			v := fmt.Sprintf("gen-%04d-%s", n, bytes.Repeat([]byte("q"), 100))
+			valid[v] = true
+			if err := c.Update(k, []byte(v)); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+		writerDone = true
+	})
+	tc.cl.SpawnClient(cn2, "reader", func(c *Client) {
+		for !writerDone {
+			got, err := c.Search(k)
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("search: %v", err)
+				return
+			}
+			if !valid[string(got)] {
+				t.Errorf("reader observed value that was never written: %.24q...", got)
+				return
+			}
+		}
+		readerDone = true
+	})
+	for i := 0; i < 120000 && !(writerDone && readerDone); i++ {
+		tc.run(time.Millisecond)
+	}
+	if !writerDone || !readerDone {
+		t.Fatal("race test stalled")
+	}
+}

@@ -1,0 +1,829 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/layout"
+	"repro/internal/racehash"
+	"repro/internal/rdma"
+)
+
+// RecoveryReport breaks an MN recovery down into the stages of
+// Table 2: reading the metadata replica, reading the latest index
+// checkpoint, decoding new local blocks, reading new remote blocks,
+// scanning their KV pairs, and decoding old local blocks.
+type RecoveryReport struct {
+	MN          int
+	CkptVersion uint64
+
+	ReadMeta         time.Duration
+	ReadCkpt         time.Duration
+	RecoverLBlock    time.Duration
+	LBlockCount      int
+	ReadRBlock       time.Duration
+	RBlockCount      int
+	ScanKV           time.Duration
+	KVCount          int
+	IndexDone        time.Duration // tier-2 complete: functionality restored
+	RecoverOldLBlock time.Duration
+	OldLBlockCount   int
+	Total            time.Duration
+}
+
+// runRecovery performs tiered recovery of logical MN mn on the calling
+// process's (spare) node: Meta Area first, then Index Area — at which
+// point writes resume at full speed and reads in degraded mode — and
+// finally the Block Area (§3.4.1).
+func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
+	rep := &RecoveryReport{MN: mn}
+	l := cl.L
+	mem := ctx.LocalMem()
+	start := ctx.Now()
+
+	// abandoned reports that this node died or was re-assigned while
+	// recovery ran; the master retries on another spare.
+	abandoned := func() bool {
+		return cl.pl.Memory(ctx.Node()) == nil || !cl.view.nodeIs(mn, ctx.Node())
+	}
+
+	// --- Tier 1: Meta Area (replica read) ---
+	for r := 0; r < l.Cfg.MetaReplicas; r++ {
+		host := l.MetaReplicaHostOf(mn, r)
+		if _, alive := cl.view.nodeOf(host); !alive {
+			continue
+		}
+		slot := l.MetaReplicaSlotFor(host, mn)
+		if err := readChunked(ctx, cl, host, l.MetaReplicaOff(slot), mem[l.MetaOff():l.MetaOff()+l.MetaSize()]); err == nil {
+			break
+		}
+	}
+	rep.ReadMeta = ctx.Now() - start
+	reconcileDeltaRecords(cl, mn, mem)
+
+	// --- Tier 2: Index Area ---
+	t := ctx.Now()
+	ckptVer := uint64(0)
+	for h := 0; h < l.Cfg.CkptHosts; h++ {
+		host := l.CkptHostOf(mn, h)
+		if _, alive := cl.view.nodeOf(host); !alive {
+			continue
+		}
+		slot := l.CkptSlotFor(host, mn)
+		if err := readChunked(ctx, cl, host, l.CkptCopyOff(slot), mem[:l.Cfg.IndexBytes]); err != nil {
+			continue
+		}
+		var vbuf [8]byte
+		if addr, ok := cl.Addr(host, l.CkptVersionOff(slot)); ok && ctx.Read(vbuf[:], addr) == nil {
+			ckptVer = binary.LittleEndian.Uint64(vbuf[:])
+			break
+		}
+	}
+	rep.CkptVersion = ckptVer
+	binary.LittleEndian.PutUint64(mem[l.IndexVersionOff():], ckptVer+1)
+	rep.ReadCkpt = ctx.Now() - t
+
+	// Classify this MN's blocks from the recovered records.
+	var newLocal, oldLocal []int
+	recovered := make(map[int]bool)
+	for b := 0; b < l.Cfg.BlocksPerMN(); b++ {
+		off := l.RecordOff(b)
+		rec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
+		if rec.Role != layout.RoleData {
+			continue
+		}
+		if rec.IndexVersion == 0 || rec.IndexVersion >= ckptVer {
+			newLocal = append(newLocal, b)
+		} else {
+			oldLocal = append(oldLocal, b)
+		}
+	}
+
+	// Decode new local blocks (pipelined reads + XOR, §3.4.1 remark 1).
+	t = ctx.Now()
+	recoverBlocks(ctx, cl, mn, newLocal, recovered)
+	rep.LBlockCount = len(newLocal)
+	rep.RecoverLBlock = ctx.Now() - t
+
+	// Read new remote blocks.
+	t = ctx.Now()
+	type remoteBlock struct {
+		mn    int
+		idx   int
+		class uint8
+		data  []byte
+	}
+	var remotes []remoteBlock
+	recArea := make([]byte, uint64(l.Cfg.BlocksPerMN())*layout.RecordSize)
+	for j := 0; j < l.Cfg.NumMNs; j++ {
+		if j == mn {
+			continue
+		}
+		_, alive := cl.view.nodeOf(j)
+		if alive {
+			if err := readChunked(ctx, cl, j, l.RecordOff(0), recArea); err != nil {
+				continue
+			}
+		} else {
+			// Double failure: MN j is down too. Its recent blocks can
+			// still carry the only copies of KVs homed on this index
+			// (and possibly this MN's lost checkpoint), so enumerate
+			// them from j's meta replica and decode them from stripe
+			// survivors.
+			if !readMetaReplicaRecords(ctx, cl, j, recArea) {
+				continue
+			}
+		}
+		for b := 0; b < l.Cfg.BlocksPerMN(); b++ {
+			rec := layout.DecodeRecord(recArea[uint64(b)*layout.RecordSize:])
+			if rec.Role != layout.RoleData || (rec.IndexVersion != 0 && rec.IndexVersion < ckptVer) {
+				continue
+			}
+			data := make([]byte, l.Cfg.BlockSize)
+			if alive {
+				if err := readChunked(ctx, cl, j, l.BlockOff(b), data); err != nil {
+					continue
+				}
+			} else {
+				if b >= l.Cfg.StripeRows {
+					continue // pool blocks hold no indexed KVs
+				}
+				f := fetchStripe(ctx, cl, j, b)
+				if !f.ok {
+					continue
+				}
+				out, ok := reconstructLostBlock(ctx, cl, j, b, f)
+				if !ok {
+					continue
+				}
+				copy(data, out)
+			}
+			remotes = append(remotes, remoteBlock{mn: j, idx: b, class: rec.SizeClass, data: data})
+		}
+	}
+	rep.RBlockCount = len(remotes)
+	rep.ReadRBlock = ctx.Now() - t
+	if abandoned() {
+		return nil
+	}
+
+	// Scan KV pairs of every new block and keep, per key homed on this
+	// MN, the candidate with the highest slot version (§3.2.2).
+	t = ctx.Now()
+	type candidate struct {
+		version uint64
+		packed  uint64
+		class   uint8
+		key     []byte
+	}
+	best := make(map[string]candidate)
+	scanned := make(map[uint64]*layout.KV) // packed addr -> decoded KV
+	scanBlock := func(owner, idx int, class uint8, data []byte) {
+		slotSize := int(class) * 64
+		if slotSize == 0 {
+			return
+		}
+		for s := 0; s+slotSize <= len(data); s += slotSize {
+			kv, err := layout.DecodeKV(data[s : s+slotSize])
+			if err != nil || kv == nil || kv.SlotVersion == layout.InvalidVersion {
+				continue
+			}
+			rep.KVCount++
+			packed := layout.PackAddr(uint16(owner), l.BlockOff(idx)+uint64(s))
+			kvCopy := &layout.KV{Key: append([]byte(nil), kv.Key...), Val: nil,
+				SlotVersion: kv.SlotVersion, Tombstone: kv.Tombstone}
+			scanned[packed] = kvCopy
+			h := racehash.Hash(kv.Key)
+			if racehash.HomeMN(h, l.Cfg.NumMNs) != mn {
+				continue
+			}
+			if c, ok := best[string(kv.Key)]; !ok || kv.SlotVersion > c.version {
+				best[string(kv.Key)] = candidate{version: kv.SlotVersion, packed: packed,
+					class: class, key: kvCopy.Key}
+			}
+		}
+	}
+	for _, b := range newLocal {
+		off := l.RecordOff(b)
+		rec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
+		blk := mem[l.BlockOff(b) : l.BlockOff(b)+l.Cfg.BlockSize]
+		scanBlock(mn, b, rec.SizeClass, blk)
+	}
+	for _, rb := range remotes {
+		scanBlock(rb.mn, rb.idx, rb.class, rb.data)
+	}
+	ctx.UseCPU(rdma.CoreErasure, cpuTime(rep.KVCount*64, cl.Cfg.Rates.Memcpy))
+
+	// Reapply candidates in sorted key order (deterministic recovery):
+	// each index slot ends up pointing at the KV pair with the highest
+	// slot version (Figure 4).
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, keyStr := range keys {
+		cand := best[keyStr]
+		reapplyCandidate(ctx, cl, mn, mem, []byte(keyStr), cand.version, cand.packed, cand.class, scanned, recovered)
+	}
+	rep.ScanKV = ctx.Now() - t
+
+	if abandoned() {
+		return nil
+	}
+	// Functionality restored: bring up the replacement server and
+	// reopen the index partition (writes full speed, reads degraded).
+	srv := newServer(cl, mn, ctx.Node())
+	cl.servers[mn] = srv
+	srv.start()
+	cl.view.mu.Lock()
+	cl.view.failed[mn] = false
+	cl.view.indexReady[mn] = true
+	cl.view.epoch++
+	cl.view.mu.Unlock()
+	rep.IndexDone = ctx.Now() - start
+
+	// --- Tier 3: Block Area (old data blocks, then parity blocks) ---
+	t = ctx.Now()
+	if cl.Cfg.RecoveryHelpers > 0 {
+		recoverBlocksWithHelpers(ctx, cl, mn, oldLocal, recovered)
+	} else {
+		recoverBlocks(ctx, cl, mn, oldLocal, recovered)
+	}
+	rep.OldLBlockCount = len(oldLocal)
+	for b := 0; b < l.Cfg.StripeRows; b++ {
+		off := l.RecordOff(b)
+		rec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
+		if rec.Role == layout.RoleParity {
+			recoverParityRow(ctx, cl, mn, mem, b, &rec)
+		}
+	}
+	rep.RecoverOldLBlock = ctx.Now() - t
+
+	cl.view.mu.Lock()
+	cl.view.blocksReady[mn] = true
+	cl.view.epoch++
+	cl.view.mu.Unlock()
+	rep.Total = ctx.Now() - start
+	return rep
+}
+
+// reconcileDeltaRecords repairs a consequence of asynchronous Meta
+// Area replication: a parity record's DeltaAddr assignment can survive
+// a crash while the referenced DELTA block's own record was still
+// unreplicated (or vice versa). Without repair the replacement server
+// sees the pool block as FREE and double-allocates it, letting another
+// stripe's deltas smash this one's — so recovery re-derives every
+// locally-referenced DELTA block's record from the parity records
+// before the server starts allocating. (The reverse case — a DELTA
+// record without a parity reference — only leaks the block, which is
+// safe.)
+func reconcileDeltaRecords(cl *Cluster, mn int, mem []byte) {
+	l := cl.L
+	for row := 0; row < l.Cfg.StripeRows; row++ {
+		if _, parity := l.IsParityMN(uint32(row), mn); !parity {
+			continue
+		}
+		off := l.RecordOff(row)
+		prec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
+		if prec.Role != layout.RoleParity {
+			continue
+		}
+		for xid, da := range prec.DeltaAddr {
+			if da == 0 {
+				continue
+			}
+			dmn, dOff := layout.UnpackAddr(da)
+			if int(dmn) != mn {
+				continue
+			}
+			b := l.BlockOfOff(dOff)
+			if b < l.Cfg.StripeRows || b >= l.Cfg.BlocksPerMN() {
+				continue
+			}
+			rOff := l.RecordOff(b)
+			drec := layout.DecodeRecord(mem[rOff : rOff+layout.RecordSize])
+			if drec.Role == layout.RoleDelta && drec.StripeID == uint32(row) && int(drec.XORID) == xid {
+				continue
+			}
+			fixed := layout.Record{Role: layout.RoleDelta, Valid: true,
+				XORID: uint8(xid), StripeID: uint32(row), SizeClass: drec.SizeClass}
+			layout.EncodeRecord(mem[rOff:rOff+layout.RecordSize], &fixed)
+		}
+	}
+}
+
+// freePoolBlockIn finds a free pool block in the recovering node's
+// local memory (avoiding row), or -1.
+func freePoolBlockIn(cl *Cluster, mem []byte, avoid int) int {
+	l := cl.L
+	for b := l.Cfg.StripeRows; b < l.Cfg.BlocksPerMN(); b++ {
+		if b == avoid {
+			continue
+		}
+		off := l.RecordOff(b)
+		if layout.DecodeRecord(mem[off:off+layout.RecordSize]).Role == layout.RoleFree {
+			return b
+		}
+	}
+	return -1
+}
+
+// readMetaReplicaRecords loads MN owner's block records from its first
+// reachable meta replica into recArea; it reports success.
+func readMetaReplicaRecords(ctx rdma.Ctx, cl *Cluster, owner int, recArea []byte) bool {
+	l := cl.L
+	for r := 0; r < l.Cfg.MetaReplicas; r++ {
+		host := l.MetaReplicaHostOf(owner, r)
+		if _, alive := cl.view.nodeOf(host); !alive {
+			continue
+		}
+		slot := l.MetaReplicaSlotFor(host, owner)
+		base := l.MetaReplicaOff(slot) + (l.RecordOff(0) - l.MetaOff())
+		if err := readChunked(ctx, cl, host, base, recArea); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reapplyCandidate installs a scanned KV candidate into the recovered
+// index if it is newer than what the checkpoint holds. Key comparison
+// against an existing entry follows the normal lookup process
+// (Figure 4 ③): scanned blocks answer from memory; entries pointing
+// into not-yet-recovered blocks are fetched by degraded stripe reads.
+func reapplyCandidate(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, key []byte, version, packed uint64, class uint8, scanned map[uint64]*layout.KV, recovered map[int]bool) {
+	l := cl.L
+	h := racehash.Hash(key)
+	fp := racehash.Fingerprint(h)
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	buckets := []uint64{i1, i2}
+
+	newAtomicVal := layout.SlotAtomic{FP: fp, Ver: uint8(version), Addr: packed}.Pack()
+	newMetaVal := layout.SlotMeta{Epoch: version >> 8, Len: class}.Pack()
+
+	var freeOff uint64
+	haveFree := false
+	for _, b := range buckets {
+		for s := 0; s < layout.BucketSlots; s++ {
+			off := l.SlotOff(b, s)
+			w := binary.LittleEndian.Uint64(mem[off:])
+			if w == 0 {
+				if !haveFree {
+					freeOff, haveFree = off, true
+				}
+				continue
+			}
+			atom := layout.UnpackAtomic(w)
+			if atom.FP != fp {
+				continue
+			}
+			meta := layout.UnpackMeta(binary.LittleEndian.Uint64(mem[off+layout.SlotMetaOff:]))
+			exKey, ok := keyOfEntry(ctx, cl, mn, mem, atom, meta, scanned, recovered)
+			if !ok || string(exKey) != string(key) {
+				continue
+			}
+			// Same key: keep the higher slot version.
+			exVer := layout.SlotVersion(meta.Epoch&^1, atom.Ver)
+			if version > exVer {
+				binary.LittleEndian.PutUint64(mem[off:], newAtomicVal)
+				binary.LittleEndian.PutUint64(mem[off+layout.SlotMetaOff:], newMetaVal)
+			}
+			return
+		}
+	}
+	if haveFree {
+		binary.LittleEndian.PutUint64(mem[freeOff:], newAtomicVal)
+		binary.LittleEndian.PutUint64(mem[freeOff+layout.SlotMetaOff:], newMetaVal)
+	}
+}
+
+// keyOfEntry fetches the key bytes of an existing index entry during
+// recovery.
+func keyOfEntry(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, atom layout.SlotAtomic, meta layout.SlotMeta, scanned map[uint64]*layout.KV, recovered map[int]bool) ([]byte, bool) {
+	if kv, ok := scanned[atom.Addr]; ok {
+		return kv.Key, true
+	}
+	n := int(meta.Len) * 64
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]byte, n)
+	owner, off := layout.UnpackAddr(atom.Addr)
+	l := cl.L
+	switch {
+	case int(owner) == mn:
+		// Local block: recovered blocks can be read from memory; old
+		// blocks need a degraded stripe read.
+		bi := l.BlockOfOff(off)
+		if bi >= 0 && recovered[bi] {
+			copy(buf, mem[off:off+uint64(n)])
+		} else if err := readStripeRange(ctx, cl, atom.Addr, buf); err != nil {
+			return nil, false
+		}
+	default:
+		if addr, ok := cl.Addr(int(owner), off); ok {
+			if err := ctx.Read(buf, addr); err != nil {
+				return nil, false
+			}
+		} else if err := readStripeRange(ctx, cl, atom.Addr, buf); err != nil {
+			return nil, false
+		}
+	}
+	kv, err := layout.DecodeKV(buf)
+	if err != nil || kv == nil {
+		return nil, false
+	}
+	return append([]byte(nil), kv.Key...), true
+}
+
+// recoverBlocks decodes the given local DATA blocks from their
+// stripes' survivors, writing results into local memory. Fetching
+// (RDMA reads) and decoding (XOR/GF compute) run as a two-stage
+// pipeline (§3.4.1 remark 1): a prefetch process stays one stripe
+// ahead of the decoder.
+func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered map[int]bool) {
+	if len(blocks) == 0 {
+		return
+	}
+	if !cl.Cfg.RecoveryPipeline {
+		// Ablation: strictly sequential fetch-then-decode.
+		mem := ctx.LocalMem()
+		for _, b := range blocks {
+			f := fetchStripe(ctx, cl, mn, b)
+			if !f.ok {
+				continue
+			}
+			decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas)
+			recovered[f.b] = true
+		}
+		return
+	}
+	var mu sync.Mutex
+	queue := make([]fetchedStripe, 0, 2)
+	done := false
+
+	cl.pl.Spawn(ctx.Node(), "recover-prefetch", func(fctx rdma.Ctx) {
+		for _, b := range blocks {
+			// Bound the pipeline depth at 2 stripes.
+			for {
+				mu.Lock()
+				depth := len(queue)
+				mu.Unlock()
+				if depth < 2 {
+					break
+				}
+				fctx.Sleep(5 * time.Microsecond)
+			}
+			f := fetchStripe(fctx, cl, mn, b)
+			mu.Lock()
+			queue = append(queue, f)
+			mu.Unlock()
+		}
+		mu.Lock()
+		done = true
+		mu.Unlock()
+	})
+
+	mem := ctx.LocalMem()
+	for {
+		mu.Lock()
+		if len(queue) == 0 {
+			d := done
+			mu.Unlock()
+			if d {
+				return
+			}
+			ctx.Sleep(5 * time.Microsecond)
+			continue
+		}
+		f := queue[0]
+		queue = queue[1:]
+		mu.Unlock()
+		if !f.ok {
+			continue
+		}
+		decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas)
+		recovered[f.b] = true
+	}
+}
+
+// fetchedStripe is one unit of the two-stage recovery pipeline.
+type fetchedStripe struct {
+	b      int
+	shards [][]byte
+	deltas [][]byte // per data shard; nil when none pending
+	ok     bool
+}
+
+// fetchStripe reads everything needed to reconstruct local block b:
+// surviving data blocks (folded with their pending deltas into enc
+// form), parity blocks, and the lost block's own pending delta.
+func fetchStripe(ctx rdma.Ctx, cl *Cluster, mn, b int) (f fetchedStripe) {
+	l := cl.L
+	stripe := uint32(b)
+	k, m := cl.code.K(), cl.code.M()
+	f.b = b
+	f.shards = make([][]byte, k+m)
+	f.deltas = make([][]byte, k)
+
+	// Read one surviving parity record for the delta map.
+	var prec layout.Record
+	havePrec := false
+	for j := 0; j < m; j++ {
+		pmn := l.ParityMN(stripe, j)
+		if rec, err := readParityRecord(ctx, cl, pmn, b); err == nil && rec.Role == layout.RoleParity {
+			prec, havePrec = rec, true
+			break
+		}
+	}
+
+	bs := l.Cfg.BlockSize
+	for xid, dm := range l.DataMNs(stripe) {
+		if havePrec && prec.DeltaAddr[xid] != 0 {
+			dmn, dOff := layout.UnpackAddr(prec.DeltaAddr[xid])
+			if _, alive := cl.view.nodeOf(int(dmn)); alive {
+				buf := make([]byte, bs)
+				if readChunked(ctx, cl, int(dmn), dOff, buf) == nil {
+					f.deltas[xid] = buf
+				}
+			}
+		}
+		if dm == mn {
+			f.shards[xid] = make([]byte, bs) // the lost shard
+			continue
+		}
+		if _, alive := cl.view.nodeOf(dm); !alive {
+			f.shards[xid] = make([]byte, bs) // second failure: also lost
+			continue
+		}
+		buf := make([]byte, bs)
+		if err := readChunked(ctx, cl, dm, l.BlockOff(b), buf); err != nil {
+			f.shards[xid] = make([]byte, bs)
+			continue
+		}
+		// Materialise the enc view: enc_b = DATA_b ⊕ DELTA_b.
+		if f.deltas[xid] != nil {
+			erasure.XorInto(buf, f.deltas[xid])
+		}
+		f.shards[xid] = buf
+	}
+	for j := 0; j < m; j++ {
+		pmn := l.ParityMN(stripe, j)
+		buf := make([]byte, bs)
+		if _, alive := cl.view.nodeOf(pmn); alive {
+			readChunked(ctx, cl, pmn, l.BlockOff(b), buf) //nolint:errcheck // zero shard marked absent below
+			f.shards[k+j] = buf
+		} else {
+			f.shards[k+j] = buf
+		}
+	}
+	f.ok = true
+	return f
+}
+
+// reconstructLostBlock rebuilds owner's block b from a fetched stripe
+// and returns the data bytes (the shard slice, reused), or false when
+// the erasure pattern exceeds the fault bound.
+func reconstructLostBlock(ctx rdma.Ctx, cl *Cluster, owner, b int, f fetchedStripe) ([]byte, bool) {
+	l := cl.L
+	stripe := uint32(b)
+	k, m := cl.code.K(), cl.code.M()
+	present := make([]bool, k+m)
+	for xid, dm := range l.DataMNs(stripe) {
+		_, alive := cl.view.nodeOf(dm)
+		present[xid] = dm != owner && alive
+	}
+	liveParity := 0
+	for j := 0; j < m; j++ {
+		_, alive := cl.view.nodeOf(l.ParityMN(stripe, j))
+		present[k+j] = alive
+		if alive {
+			liveParity++
+		}
+	}
+	if err := cl.code.Reconstruct(f.shards, present); err != nil {
+		return nil, false // beyond the fault bound
+	}
+	ctx.UseCPU(rdma.CoreErasure, cpuTime((k+liveParity)*int(l.Cfg.BlockSize), cl.Cfg.Rates.codeRate(cl.Cfg.Code)))
+	xid := l.XORIDOf(stripe, owner)
+	out := f.shards[xid]
+	// DATA = enc ⊕ DELTA: fold back the owner's pending delta, if any.
+	if f.deltas[xid] != nil {
+		erasure.XorInto(out, f.deltas[xid])
+	}
+	return out, true
+}
+
+// decodeStripeInto reconstructs local block b from a fetched stripe
+// and writes it into local memory.
+func decodeStripeInto(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, shards, deltas [][]byte) {
+	out, ok := reconstructLostBlock(ctx, cl, mn, b, fetchedStripe{b: b, shards: shards, deltas: deltas, ok: true})
+	if !ok {
+		return // leave the block zeroed
+	}
+	copy(mem[cl.L.BlockOff(b):cl.L.BlockOff(b)+cl.L.Cfg.BlockSize], out)
+}
+
+// recoverBlocksWithHelpers distributes block decoding across helper
+// compute nodes (the paper's future-work extension, §4.5 "Impact of
+// Index Size": "the extended recovery time can be alleviated by
+// distributing coding stripe recovery tasks across multiple CNs,
+// similar to RAMCloud"). Each helper fetches a stripe's survivors,
+// reconstructs the lost block on its own CPU, and ships the result to
+// the replacement MN with chunked writes.
+func recoverBlocksWithHelpers(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered map[int]bool) {
+	if len(blocks) == 0 {
+		return
+	}
+	helpers := cl.Cfg.RecoveryHelpers
+	if helpers > len(blocks) {
+		helpers = len(blocks)
+	}
+	var mu sync.Mutex
+	next := 0
+	doneCount := 0
+	for h := 0; h < helpers; h++ {
+		cn := cl.pl.AddComputeNode()
+		cl.pl.Spawn(cn, fmt.Sprintf("recover-helper%d", h), func(hctx rdma.Ctx) {
+			for {
+				mu.Lock()
+				if next >= len(blocks) {
+					mu.Unlock()
+					return
+				}
+				b := blocks[next]
+				next++
+				mu.Unlock()
+
+				f := fetchStripe(hctx, cl, mn, b)
+				if f.ok && helperDecodeAndShip(hctx, cl, mn, b, f) {
+					mu.Lock()
+					recovered[b] = true
+					doneCount++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					doneCount++
+					mu.Unlock()
+				}
+			}
+		})
+	}
+	for {
+		mu.Lock()
+		d := doneCount
+		mu.Unlock()
+		if d >= len(blocks) {
+			return
+		}
+		ctx.Sleep(20 * time.Microsecond)
+	}
+}
+
+// helperDecodeAndShip reconstructs block b on the helper's CPU and
+// writes it to the replacement MN. It reports success.
+func helperDecodeAndShip(hctx rdma.Ctx, cl *Cluster, mn, b int, f fetchedStripe) bool {
+	l := cl.L
+	stripe := uint32(b)
+	k, m := cl.code.K(), cl.code.M()
+	present := make([]bool, k+m)
+	live := 0
+	for xid, dm := range l.DataMNs(stripe) {
+		_, alive := cl.view.nodeOf(dm)
+		present[xid] = dm != mn && alive
+		if present[xid] {
+			live++
+		}
+	}
+	for j := 0; j < m; j++ {
+		_, alive := cl.view.nodeOf(l.ParityMN(stripe, j))
+		present[k+j] = alive
+		if alive {
+			live++
+		}
+	}
+	if err := cl.code.Reconstruct(f.shards, present); err != nil {
+		return false
+	}
+	hctx.UseCPU(0, cpuTime(live*int(l.Cfg.BlockSize), cl.Cfg.Rates.codeRate(cl.Cfg.Code)))
+	myXID := l.XORIDOf(stripe, mn)
+	out := f.shards[myXID]
+	if f.deltas[myXID] != nil {
+		erasure.XorInto(out, f.deltas[myXID])
+	}
+	// Ship the rebuilt block to the replacement MN in chunks.
+	chunk := cl.Cfg.ChunkBytes
+	for pos := 0; pos < len(out); pos += chunk {
+		end := pos + chunk
+		if end > len(out) {
+			end = len(out)
+		}
+		addr, ok := cl.Addr(mn, l.BlockOff(b)+uint64(pos))
+		if !ok {
+			return false
+		}
+		if err := hctx.Write(addr, out[pos:end]); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// recoverParityRow rebuilds a lost PARITY block (background, after
+// functionality is restored — "PARITY blocks will be gradually
+// recovered in the background", §3.4.1) together with the DELTA blocks
+// it tracks, using DELTA_b = DATA_b ⊕ enc_b.
+func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec *layout.Record) {
+	l := cl.L
+	stripe := uint32(b)
+	bs := l.Cfg.BlockSize
+	parity := mem[l.BlockOff(b) : l.BlockOff(b)+bs]
+	for i := range parity {
+		parity[i] = 0
+	}
+
+	// Locate the sibling parity MN (to adopt its view of pending
+	// deltas), if configured and alive.
+	var sibRec layout.Record
+	haveSib := false
+	for j := 0; j < l.Cfg.ParityShards; j++ {
+		pmn := l.ParityMN(stripe, j)
+		if pmn == mn || pmn < 0 {
+			continue
+		}
+		if r, err := readParityRecord(ctx, cl, pmn, b); err == nil && r.Role == layout.RoleParity {
+			sibRec, haveSib = r, true
+		}
+	}
+
+	for xid, dm := range l.DataMNs(stripe) {
+		_, alive := cl.view.nodeOf(dm)
+		if !alive {
+			continue // double failure: give up on this shard's contribution
+		}
+		hasData := rec.XORMap&(1<<xid) != 0 || rec.DeltaAddr[xid] != 0
+		if !hasData && haveSib {
+			hasData = sibRec.XORMap&(1<<xid) != 0 || sibRec.DeltaAddr[xid] != 0
+		}
+		if !hasData {
+			continue
+		}
+		data := make([]byte, bs)
+		if err := readChunked(ctx, cl, dm, l.BlockOff(b), data); err != nil {
+			continue
+		}
+		enc := data
+		if rec.XORMap&(1<<xid) == 0 {
+			// Delta still pending from our point of view: rebuild it
+			// from the sibling parity's copy.
+			var delta []byte
+			if haveSib && sibRec.XORMap&(1<<xid) == 0 && sibRec.DeltaAddr[xid] != 0 {
+				dmn, dOff := layout.UnpackAddr(sibRec.DeltaAddr[xid])
+				buf := make([]byte, bs)
+				if readChunked(ctx, cl, int(dmn), dOff, buf) == nil {
+					delta = buf
+				}
+			}
+			if delta != nil {
+				di := -1
+				if rec.DeltaAddr[xid] != 0 {
+					_, dOff := layout.UnpackAddr(rec.DeltaAddr[xid])
+					di = l.BlockOfOff(dOff)
+				}
+				if di < l.Cfg.StripeRows {
+					// The recorded address was lost to replication lag:
+					// place the rebuilt delta in a fresh pool block.
+					di = freePoolBlockIn(cl, mem, b)
+				}
+				if di >= 0 {
+					copy(mem[l.BlockOff(di):l.BlockOff(di)+bs], delta)
+					drec := layout.Record{Role: layout.RoleDelta, Valid: true,
+						XORID: uint8(xid), StripeID: stripe}
+					dOff := l.RecordOff(di)
+					layout.EncodeRecord(mem[dOff:dOff+layout.RecordSize], &drec)
+					rec.DeltaAddr[xid] = layout.PackAddr(uint16(mn), l.BlockOff(di))
+					enc = append([]byte(nil), data...)
+					erasure.XorInto(enc, delta)
+				} else {
+					rec.XORMap |= 1 << xid
+					rec.DeltaAddr[xid] = 0
+				}
+			} else {
+				// No recoverable delta: adopt the current data as
+				// encoded (protection resumes from now; clients refresh
+				// their delta targets on the next view epoch).
+				rec.XORMap |= 1 << xid
+				rec.DeltaAddr[xid] = 0
+			}
+		}
+		cl.code.UpdateOne(int(rec.ParityIdx), parity, xid, 0, enc)
+		ctx.UseCPU(rdma.CoreErasure, cpuTime(2*int(bs), cl.Cfg.Rates.codeRate(cl.Cfg.Code)))
+	}
+	off := l.RecordOff(b)
+	layout.EncodeRecord(mem[off:off+layout.RecordSize], rec)
+}

@@ -1,0 +1,735 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/layout"
+	"repro/internal/lz4"
+	"repro/internal/rdma"
+)
+
+// Server is the per-MN management process (§3.1): it owns space
+// allocation, free-bitmap bookkeeping, the differential checkpoint
+// pipeline, the offline erasure encoder and delta-based reclamation.
+// It never touches KV request data — clients do all of that with
+// one-sided verbs.
+//
+// The server's only durable state is pool memory itself (records in
+// the Meta Area, the index version word); everything else is derived,
+// so a crashed MN's replacement server rebuilds from the meta replica.
+type Server struct {
+	cl   *Cluster
+	mn   int // logical MN id
+	node rdma.NodeID
+	mem  []byte
+	// memMu serialises direct local-memory access against the
+	// fabric's remote-verb executor (no-op on simulated fabrics).
+	// Lock order: memMu before mu, everywhere.
+	memMu sync.Locker
+
+	mu       sync.Mutex // guards queues and alloc state; never held across verbs
+	dataRows []int      // stripe rows where this MN holds the data block
+	allocCur int        // rotating allocation cursor into dataRows
+	encodeQ  []encodeJob
+	applyQ   []applyJob
+	snapshot uint64 // pending checkpoint round (0 = none)
+	dirty    map[int]bool
+	stopped  bool
+
+	// reclaimed counts blocks handed out through delta-based
+	// reclamation (observability for the reclamation experiments).
+	reclaimed int
+	// bitsApplied counts accepted free-bitmap updates (observability).
+	bitsApplied int
+}
+
+type encodeJob struct {
+	stripe uint32
+	xorID  uint8
+	drop   bool // discard the delta instead of encoding it
+}
+
+type applyJob struct {
+	slot    int
+	version uint64
+	compLen int
+}
+
+func newServer(cl *Cluster, mn int, node rdma.NodeID) *Server {
+	return &Server{cl: cl, mn: mn, node: node, dirty: make(map[int]bool)}
+}
+
+// start derives in-memory state, installs the RPC handler and spawns
+// the four daemons, mirroring the paper's four-core MN assignment.
+func (s *Server) start() {
+	s.mem = s.cl.pl.Memory(s.node)
+	s.memMu = s.cl.pl.MemMutex(s.node)
+	l := s.cl.L
+	// The live index version starts at 1 so that sealed blocks are
+	// always distinguishable from unfilled ones (IndexVersion 0,
+	// §3.2.3). Recovery re-seeds it from the checkpoint version.
+	if s.indexVersion() == 0 {
+		s.setIndexVersion(1)
+	}
+	s.dataRows = s.dataRows[:0]
+	for row := 0; row < l.Cfg.StripeRows; row++ {
+		if _, parity := l.IsParityMN(uint32(row), s.mn); !parity {
+			s.dataRows = append(s.dataRows, row)
+		}
+	}
+	s.cl.pl.SetHandler(s.node, s.handle)
+	name := fmt.Sprintf("mn%d", s.mn)
+	s.cl.pl.Spawn(s.node, name+"-encoder", s.encoderLoop)
+	s.cl.pl.Spawn(s.node, name+"-ckptsend", s.ckptSendLoop)
+	s.cl.pl.Spawn(s.node, name+"-ckptrecv", s.ckptRecvLoop)
+	s.cl.pl.Spawn(s.node, name+"-metasync", s.metaSyncLoop)
+}
+
+// stop makes the daemons wind down (used at failure injection).
+func (s *Server) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// --- direct local-memory accessors ---
+
+func (s *Server) record(b int) layout.Record {
+	off := s.cl.L.RecordOff(b)
+	return layout.DecodeRecord(s.mem[off : off+layout.RecordSize])
+}
+
+// putRecord stores a record and marks the block dirty for meta
+// replication.
+func (s *Server) putRecord(b int, r *layout.Record) {
+	off := s.cl.L.RecordOff(b)
+	layout.EncodeRecord(s.mem[off:off+layout.RecordSize], r)
+	s.dirty[b] = true
+}
+
+func (s *Server) bitmap(b int) []byte {
+	off := s.cl.L.BitmapOff(b)
+	return s.mem[off : off+s.cl.L.BitmapBytes()]
+}
+
+func (s *Server) block(b int) []byte {
+	off := s.cl.L.BlockOff(b)
+	return s.mem[off : off+s.cl.L.Cfg.BlockSize]
+}
+
+func (s *Server) indexVersion() uint64 {
+	return binary.LittleEndian.Uint64(s.mem[s.cl.L.IndexVersionOff():])
+}
+
+func (s *Server) setIndexVersion(v uint64) {
+	binary.LittleEndian.PutUint64(s.mem[s.cl.L.IndexVersionOff():], v)
+}
+
+// freePoolBlock finds a free pool block, or -1. Caller holds mu.
+func (s *Server) freePoolBlock() int {
+	l := s.cl.L
+	for b := l.Cfg.StripeRows; b < l.Cfg.BlocksPerMN(); b++ {
+		if s.record(b).Role == layout.RoleFree {
+			return b
+		}
+	}
+	return -1
+}
+
+// freeDataRowFrac returns the fraction of this MN's data rows still
+// unallocated. Caller holds mu.
+func (s *Server) freeDataRowFrac() float64 {
+	free := 0
+	for _, row := range s.dataRows {
+		if s.record(row).Role == layout.RoleFree {
+			free++
+		}
+	}
+	return float64(free) / float64(len(s.dataRows))
+}
+
+// --- RPC dispatch ---
+
+func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	switch method {
+	case methodAllocBlock:
+		return s.handleAllocBlock(req)
+	case methodAllocDelta:
+		return s.handleAllocDelta(req)
+	case methodSealBlock:
+		return s.handleSealBlock(req)
+	case methodEncodeDelta, methodDropDelta:
+		return s.handleEncodeDelta(method, req)
+	case methodFreeBits:
+		return s.handleFreeBits(req)
+	case methodQueryOwned:
+		return s.handleQueryOwned(req)
+	case methodCkptPrepare:
+		return s.handleCkptPrepare(req)
+	case methodCkptSnapshot:
+		return s.handleCkptSnapshot(req)
+	case methodApplyCkpt:
+		return s.handleApplyCkpt(req)
+	case methodPing:
+		return []byte{stOK}, 200 * time.Nanosecond
+	}
+	return []byte{stBadArg}, time.Microsecond
+}
+
+// handleAllocBlock allocates a DATA block (fresh, or a reclaimed one
+// when space runs low, §3.3.3).
+func (s *Server) handleAllocBlock(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	cliID := d.u16()
+	class := d.u8()
+	cpu := 2 * time.Microsecond
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Delta-based reclamation path: when free rows drop below the
+	// threshold, hand out the most-obsolete sealed block instead.
+	if s.freeDataRowFrac() < s.cl.Cfg.ReclaimFree {
+		if b, copyIdx, ok := s.pickReclaim(class); ok {
+			rec := s.record(b)
+			old := s.bitmap(b)
+			oldBits := append([]byte(nil), old...)
+			// Back up the old contents for client-crash recovery.
+			copy(s.block(copyIdx), s.block(b))
+			cpu += cpuTime(int(s.cl.L.Cfg.BlockSize), s.cl.Cfg.Rates.Memcpy)
+			crec := layout.Record{Role: layout.RoleCopy, Valid: true, XORID: rec.XORID,
+				SizeClass: rec.SizeClass, StripeID: rec.StripeID, CliID: cliID}
+			s.putRecord(copyIdx, &crec)
+			// Reset the block to unfilled state.
+			for i := range old {
+				old[i] = 0
+			}
+			s.dirty[b] = true
+			rec.IndexVersion = 0
+			rec.CliID = cliID
+			s.putRecord(b, &rec)
+			s.reclaimed++
+			var e enc
+			e.u8(stOK)
+			e.u32(uint32(b))
+			e.u32(rec.StripeID)
+			e.u8(rec.XORID)
+			e.u8(1) // reused
+			e.u32(uint32(copyIdx))
+			e.bytes(oldBits)
+			return e.b, cpu
+		}
+	}
+
+	// Fresh allocation, rotating over this MN's data rows.
+	for i := 0; i < len(s.dataRows); i++ {
+		row := s.dataRows[(s.allocCur+i)%len(s.dataRows)]
+		rec := s.record(row)
+		if rec.Role != layout.RoleFree {
+			continue
+		}
+		s.allocCur = (s.allocCur + i + 1) % len(s.dataRows)
+		stripe := uint32(row)
+		rec = layout.Record{
+			Role: layout.RoleData, Valid: true,
+			XORID:     uint8(s.cl.L.XORIDOf(stripe, s.mn)),
+			SizeClass: class, StripeID: stripe, CliID: cliID,
+		}
+		s.putRecord(row, &rec)
+		var e enc
+		e.u8(stOK)
+		e.u32(uint32(row))
+		e.u32(stripe)
+		e.u8(rec.XORID)
+		e.u8(0) // fresh
+		e.u32(^uint32(0))
+		e.bytes(nil)
+		return e.b, cpu
+	}
+	return []byte{stNoSpace}, cpu
+}
+
+// pickReclaim selects the sealed data block with the highest obsolete
+// fraction at or above the threshold, of the right size class, and a
+// free pool block for its backup copy. Caller holds mu.
+func (s *Server) pickReclaim(class uint8) (block, copyIdx int, ok bool) {
+	best, bestCount := -1, 0
+	for _, row := range s.dataRows {
+		rec := s.record(row)
+		if rec.Role != layout.RoleData || rec.IndexVersion == 0 || rec.SizeClass != class {
+			continue
+		}
+		slots := s.cl.L.KVSlotsPerBlock(rec.SizeClass)
+		cnt := layout.BitmapCount(s.bitmap(row)[:(slots+7)/8])
+		if float64(cnt) >= s.cl.Cfg.ReclaimObsolete*float64(slots) && cnt > bestCount {
+			best, bestCount = row, cnt
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	copyIdx = s.freePoolBlock()
+	if copyIdx < 0 {
+		return 0, 0, false
+	}
+	return best, copyIdx, true
+}
+
+// handleAllocDelta allocates a DELTA block on this parity MN for
+// (stripe, xorID) and records it in the parity record (Figure 6 ①).
+func (s *Server) handleAllocDelta(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	cliID := d.u16()
+	stripe := d.u32()
+	xorID := d.u8()
+	class := d.u8()
+	cpu := 2 * time.Microsecond
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	pidx, ok := s.cl.L.IsParityMN(stripe, s.mn)
+	if !ok || int(stripe) >= s.cl.L.Cfg.StripeRows || int(xorID) >= s.cl.code.K() {
+		return []byte{stBadArg}, cpu
+	}
+	prec := s.record(int(stripe))
+	if prec.Role == layout.RoleFree {
+		prec = layout.Record{Role: layout.RoleParity, Valid: true,
+			StripeID: stripe, ParityIdx: uint8(pidx)}
+	}
+	if prec.Role != layout.RoleParity {
+		return []byte{stConflict}, cpu
+	}
+	// Idempotent: a crashed-and-restarted client re-attaches to the
+	// existing delta block.
+	if prec.DeltaAddr[xorID] != 0 {
+		_, off := layout.UnpackAddr(prec.DeltaAddr[xorID])
+		b := s.cl.L.BlockOfOff(off)
+		var e enc
+		e.u8(stOK)
+		e.u32(uint32(b))
+		return e.b, cpu
+	}
+	b := s.freePoolBlock()
+	if b < 0 {
+		return []byte{stNoSpace}, cpu
+	}
+	drec := layout.Record{Role: layout.RoleDelta, Valid: true, XORID: xorID,
+		SizeClass: class, StripeID: stripe, CliID: cliID}
+	s.putRecord(b, &drec)
+	prec.DeltaAddr[xorID] = layout.PackAddr(uint16(s.mn), s.cl.L.BlockOff(b))
+	prec.XORMap &^= 1 << xorID
+	s.putRecord(int(stripe), &prec)
+	var e enc
+	e.u8(stOK)
+	e.u32(uint32(b))
+	return e.b, cpu
+}
+
+// handleSealBlock stamps the current Index Version into a filled DATA
+// block's record (§3.2.3) and releases the reclamation backup copy, if
+// any.
+func (s *Server) handleSealBlock(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	b := int(d.u32())
+	copyIdx := d.u32()
+	cpu := time.Microsecond
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.record(b)
+	if rec.Role != layout.RoleData {
+		return []byte{stBadArg}, cpu
+	}
+	rec.IndexVersion = s.indexVersion()
+	s.putRecord(b, &rec)
+	if copyIdx != ^uint32(0) {
+		cb := int(copyIdx)
+		crec := s.record(cb)
+		if crec.Role == layout.RoleCopy {
+			blk := s.block(cb)
+			for i := range blk {
+				blk[i] = 0
+			}
+			cpu += cpuTime(len(blk), s.cl.Cfg.Rates.Memcpy)
+			free := layout.Record{}
+			s.putRecord(cb, &free)
+		}
+	}
+	return []byte{stOK}, cpu
+}
+
+// handleEncodeDelta enqueues background encoding (or dropping) of the
+// DELTA block of (stripe, xorID) into this MN's PARITY block.
+func (s *Server) handleEncodeDelta(method uint8, req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	stripe := d.u32()
+	xorID := d.u8()
+	s.mu.Lock()
+	s.encodeQ = append(s.encodeQ, encodeJob{stripe: stripe, xorID: xorID, drop: method == methodDropDelta})
+	s.mu.Unlock()
+	return []byte{stOK}, 500 * time.Nanosecond
+}
+
+// handleFreeBits applies a batch of obsolete-KV markings to a block's
+// free bitmap (§3.3.3 ①).
+func (s *Server) handleFreeBits(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	b := int(d.u32())
+	n := int(d.u16())
+	if b < 0 || b >= s.cl.L.Cfg.BlocksPerMN() {
+		return []byte{stBadArg}, time.Microsecond
+	}
+	// Every arriving mark is valid, even across block reuse: a slot is
+	// only handed out as writable when its previous pair's mark was
+	// already applied (that is what made the block a reclamation
+	// candidate), and each overwrite generates exactly one mark — by
+	// the single client whose CAS obsoleted the pair — so a mark can
+	// never target a slot whose current tenant is live.
+	s.mu.Lock()
+	bm := s.bitmap(b)
+	for i := 0; i < n; i++ {
+		bit := int(d.u32())
+		if bit/8 >= len(bm) {
+			continue
+		}
+		s.bitsApplied++
+		layout.BitmapSet(bm, bit)
+	}
+	s.dirty[b] = true
+	s.mu.Unlock()
+	return []byte{stOK}, 500*time.Nanosecond + time.Duration(n)*10*time.Nanosecond
+}
+
+// handleQueryOwned lists this MN's unfilled DATA blocks, DELTA blocks
+// and COPY blocks owned by a client (CN-crash recovery, §3.4.2).
+func (s *Server) handleQueryOwned(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	cliID := d.u16()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var e enc
+	e.u8(stOK)
+	countAt := len(e.b)
+	e.u32(0)
+	count := 0
+	for b := 0; b < s.cl.L.Cfg.BlocksPerMN(); b++ {
+		rec := s.record(b)
+		if rec.CliID != cliID {
+			continue
+		}
+		include := (rec.Role == layout.RoleData && rec.IndexVersion == 0) ||
+			rec.Role == layout.RoleDelta || rec.Role == layout.RoleCopy
+		if !include {
+			continue
+		}
+		e.u32(uint32(b))
+		e.u8(uint8(rec.Role))
+		e.u32(rec.StripeID)
+		e.u8(rec.XORID)
+		e.u8(rec.SizeClass)
+		count++
+	}
+	binary.LittleEndian.PutUint32(e.b[countAt:], uint32(count))
+	return e.b, 2 * time.Microsecond
+}
+
+// handleCkptPrepare is phase one of a checkpoint round: the Index
+// Version advances to round+1 on every MN *before* any MN snapshots,
+// so a block sealed after any snapshot of round r carries a version
+// > r and is never skipped by recovery. (Single-phase triggering has a
+// window where a commit lands after MN i's snapshot while MN j still
+// seals with the old version; see DESIGN.md deviations.)
+func (s *Server) handleCkptPrepare(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	round := d.u64()
+	s.mu.Lock()
+	if round+1 > s.indexVersion() {
+		s.setIndexVersion(round + 1)
+	}
+	s.mu.Unlock()
+	return []byte{stOK}, 500 * time.Nanosecond
+}
+
+// handleCkptSnapshot is phase two: it hands the round to the
+// checkpoint-send daemon. If the previous round is still in flight the
+// new round supersedes it (the paper's "interval dynamically
+// increases" behaviour for large indexes).
+func (s *Server) handleCkptSnapshot(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	round := d.u64()
+	s.mu.Lock()
+	if round > s.snapshot {
+		s.snapshot = round
+	}
+	s.mu.Unlock()
+	return []byte{stOK}, 500 * time.Nanosecond
+}
+
+// handleApplyCkpt records that owner's compressed checkpoint delta has
+// landed in our staging area (Figure 3 ④ happens on our ckpt-recv
+// core).
+func (s *Server) handleApplyCkpt(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	owner := int(d.u8())
+	version := d.u64()
+	compLen := int(d.u32())
+	slot := s.cl.L.CkptSlotFor(s.mn, owner)
+	if slot < 0 {
+		return []byte{stBadArg}, time.Microsecond
+	}
+	s.mu.Lock()
+	s.applyQ = append(s.applyQ, applyJob{slot: slot, version: version, compLen: compLen})
+	s.mu.Unlock()
+	return []byte{stOK}, 500 * time.Nanosecond
+}
+
+// --- daemons ---
+
+// encoderLoop is the erasure-coding core (§3.3.2): it drains encode
+// jobs, folding DELTA blocks into the local PARITY block and freeing
+// them. Record and parity mutations happen in one critical section so
+// degraded readers never observe a delta both encoded and pending.
+func (s *Server) encoderLoop(ctx rdma.Ctx) {
+	for !s.isStopped() {
+		ctx.Sleep(s.cl.Cfg.EncodePoll)
+		for {
+			s.memMu.Lock()
+			s.mu.Lock()
+			if len(s.encodeQ) == 0 {
+				s.mu.Unlock()
+				s.memMu.Unlock()
+				break
+			}
+			job := s.encodeQ[0]
+			s.encodeQ = s.encodeQ[1:]
+			cost := s.encodeOne(job)
+			s.mu.Unlock()
+			s.memMu.Unlock()
+			if cost > 0 {
+				ctx.UseCPU(rdma.CoreErasure, cost)
+			}
+		}
+	}
+}
+
+// encodeOne performs one encode/drop job. Caller holds mu; the
+// returned CPU cost is charged afterwards.
+func (s *Server) encodeOne(job encodeJob) time.Duration {
+	l := s.cl.L
+	prec := s.record(int(job.stripe))
+	if prec.Role != layout.RoleParity || prec.DeltaAddr[job.xorID] == 0 {
+		return 0
+	}
+	_, dOff := layout.UnpackAddr(prec.DeltaAddr[job.xorID])
+	db := l.BlockOfOff(dOff)
+	delta := s.block(db)
+	var cost time.Duration
+	if !job.drop {
+		parity := s.block(int(job.stripe))
+		s.cl.code.UpdateOne(int(prec.ParityIdx), parity, int(job.xorID), 0, delta)
+		prec.XORMap |= 1 << job.xorID
+		cost += cpuTime(2*len(delta), s.cl.Cfg.Rates.codeRate(s.cl.Cfg.Code))
+	}
+	prec.DeltaAddr[job.xorID] = 0
+	s.putRecord(int(job.stripe), &prec)
+	for i := range delta {
+		delta[i] = 0
+	}
+	cost += cpuTime(len(delta), s.cl.Cfg.Rates.Memcpy)
+	free := layout.Record{}
+	s.putRecord(db, &free)
+	return cost
+}
+
+// ckptSendLoop is the checkpoint-send core: it runs the differential
+// checkpointing pipeline of Figure 3 (snapshot → XOR with last →
+// LZ4-compress → chunked RDMA_WRITE to the hosts → notify).
+func (s *Server) ckptSendLoop(ctx rdma.Ctx) {
+	l := s.cl.L
+	ib := int(l.Cfg.IndexBytes)
+	last := make([]byte, ib)
+	snap := make([]byte, ib)
+	deltaBuf := make([]byte, ib)
+	comp := make([]byte, 0, lz4.CompressBound(ib))
+	for !s.isStopped() {
+		ctx.Sleep(100 * time.Microsecond)
+		s.mu.Lock()
+		round := s.snapshot
+		s.snapshot = 0
+		s.mu.Unlock()
+		if round == 0 {
+			continue
+		}
+		// ① snapshot; ② XOR with the previous checkpoint and compress
+		// (or, in the raw ablation mode of Figure 1(b), ship the whole
+		// snapshot uncompressed).
+		s.memMu.Lock()
+		copy(snap, s.mem[:ib])
+		s.memMu.Unlock()
+		ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
+		payload := snap
+		if !s.cl.Cfg.CkptRaw {
+			copy(deltaBuf, snap)
+			erasure.XorInto(deltaBuf, last)
+			ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
+			comp = lz4.Compress(comp[:0], deltaBuf)
+			ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Compress))
+			payload = comp
+		}
+		last, snap = snap, last
+		// ③ ship to each host and notify.
+		for h := 0; h < l.Cfg.CkptHosts; h++ {
+			host := l.CkptHostOf(s.mn, h)
+			slot := l.CkptSlotFor(host, s.mn)
+			base := l.CkptStagingOff(slot)
+			if err := s.writeChunked(ctx, host, base, payload); err != nil {
+				continue
+			}
+			var e enc
+			e.u8(uint8(s.mn))
+			e.u64(round)
+			e.u32(uint32(len(payload)))
+			node, ok := s.cl.view.nodeOf(host)
+			if !ok {
+				continue
+			}
+			ctx.RPC(node, methodApplyCkpt, e.b) //nolint:errcheck // host failure handled by recovery
+		}
+	}
+}
+
+// writeChunked writes data to (mn, off) in ChunkBytes pieces so bulk
+// transfers interleave with foreground verbs at the NICs.
+func (s *Server) writeChunked(ctx rdma.Ctx, mn int, off uint64, data []byte) error {
+	chunk := s.cl.Cfg.ChunkBytes
+	for pos := 0; pos < len(data); pos += chunk {
+		end := pos + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		addr, ok := s.cl.Addr(mn, off+uint64(pos))
+		if !ok {
+			return rdma.ErrNodeFailed
+		}
+		if err := ctx.Write(addr, data[pos:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ckptRecvLoop is the checkpoint-receive core: it decompresses staged
+// deltas and XOR-applies them to the hosted checkpoint copies
+// (Figure 3 ④).
+func (s *Server) ckptRecvLoop(ctx rdma.Ctx) {
+	l := s.cl.L
+	ib := int(l.Cfg.IndexBytes)
+	deltaBuf := make([]byte, ib)
+	for !s.isStopped() {
+		ctx.Sleep(100 * time.Microsecond)
+		for {
+			s.mu.Lock()
+			if len(s.applyQ) == 0 {
+				s.mu.Unlock()
+				break
+			}
+			job := s.applyQ[0]
+			s.applyQ = s.applyQ[1:]
+			s.mu.Unlock()
+
+			s.memMu.Lock()
+			staging := s.mem[l.CkptStagingOff(job.slot) : l.CkptStagingOff(job.slot)+uint64(job.compLen)]
+			if s.cl.Cfg.CkptRaw {
+				// Raw mode: the staged payload is the full snapshot.
+				hosted := s.mem[l.CkptCopyOff(job.slot) : l.CkptCopyOff(job.slot)+uint64(ib)]
+				copy(hosted, staging)
+				binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
+				s.memMu.Unlock()
+				ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
+				continue
+			}
+			n, err := lz4.Decompress(deltaBuf, staging)
+			s.memMu.Unlock()
+			if err != nil || n != ib {
+				continue // torn staging write (owner died mid-send)
+			}
+			ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Decompress))
+			s.memMu.Lock()
+			hosted := s.mem[l.CkptCopyOff(job.slot) : l.CkptCopyOff(job.slot)+uint64(ib)]
+			erasure.XorInto(hosted, deltaBuf)
+			binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
+			s.memMu.Unlock()
+			ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
+		}
+	}
+}
+
+// metaSyncLoop asynchronously replicates dirty Meta Area records and
+// bitmaps to the successor MNs (§3.1: simple replication suffices for
+// the small, infrequently-modified metadata).
+func (s *Server) metaSyncLoop(ctx rdma.Ctx) {
+	l := s.cl.L
+	for !s.isStopped() {
+		ctx.Sleep(s.cl.Cfg.MetaSyncInterval)
+		s.memMu.Lock()
+		s.mu.Lock()
+		if len(s.dirty) == 0 {
+			s.mu.Unlock()
+			s.memMu.Unlock()
+			continue
+		}
+		type piece struct {
+			rel  uint64
+			data []byte
+		}
+		dirty := make([]int, 0, len(s.dirty))
+		for b := range s.dirty {
+			dirty = append(dirty, b)
+		}
+		sort.Ints(dirty) // deterministic replication order
+		var pieces []piece
+		for _, b := range dirty {
+			rOff := l.RecordOff(b)
+			pieces = append(pieces, piece{rOff - l.MetaOff(),
+				append([]byte(nil), s.mem[rOff:rOff+layout.RecordSize]...)})
+			bOff := l.BitmapOff(b)
+			pieces = append(pieces, piece{bOff - l.MetaOff(),
+				append([]byte(nil), s.mem[bOff:bOff+l.BitmapBytes()]...)})
+			delete(s.dirty, b)
+		}
+		s.mu.Unlock()
+		s.memMu.Unlock()
+		for r := 0; r < l.Cfg.MetaReplicas; r++ {
+			host := l.MetaReplicaHostOf(s.mn, r)
+			node, ok := s.cl.view.nodeOf(host)
+			if !ok {
+				continue
+			}
+			slot := l.MetaReplicaSlotFor(host, s.mn)
+			base := l.MetaReplicaOff(slot)
+			var ops []rdma.Op
+			for _, pc := range pieces {
+				ops = append(ops, rdma.Op{Kind: rdma.OpWrite,
+					Addr: rdma.GlobalAddr{Node: node, Off: base + pc.rel}, Buf: pc.data})
+			}
+			for pos := 0; pos < len(ops); pos += 16 {
+				end := pos + 16
+				if end > len(ops) {
+					end = len(ops)
+				}
+				ctx.Batch(ops[pos:end]) //nolint:errcheck // replica host failure handled by recovery
+			}
+		}
+	}
+}

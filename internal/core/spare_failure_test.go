@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpareFailsDuringRecovery kills the replacement node while it is
+// still recovering; the master must retry on a second spare and the
+// data must still come back intact.
+func TestSpareFailsDuringRecovery(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	tc.cl.master.AddSpare()
+	tc.cl.master.AddSpare()
+	const n = 200
+	expect := make(map[int][]byte)
+	tc.runClients(t, 60*time.Second, func(c *Client) {
+		for i := 0; i < n; i++ {
+			v := val(i, 0)
+			if err := c.Insert(key(i), v); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			expect[i] = v
+		}
+	})
+	tc.run(2 * tc.cl.Cfg.CkptInterval)
+
+	tc.cl.FailMN(1)
+	// Let recovery begin on the first spare, then kill the logical MN
+	// again — by now it is mapped to that spare.
+	for i := 0; i < 10000; i++ {
+		tc.run(200 * time.Microsecond)
+		if node := tc.cl.MNNode(1); tc.pl.Failed(node) == false && tc.pl.Memory(node) != nil {
+			// Mapped onto the spare; is recovery underway but not done?
+			_, _, blocksReady := tc.cl.MNState(1)
+			if !blocksReady {
+				break
+			}
+		}
+	}
+	if _, _, done := tc.cl.MNState(1); done {
+		t.Skip("recovery finished before the second failure could land")
+	}
+	tc.cl.FailMN(1) // kills the first spare mid-recovery
+
+	ok := false
+	for i := 0; i < 60000; i++ {
+		tc.run(time.Millisecond)
+		if _, _, blocksReady := tc.cl.MNState(1); blocksReady {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("recovery never completed on the second spare")
+	}
+	tc.verifyAll(t, expect)
+}
+
+// TestSpareDiesWhileIdle fails a spare before it is ever used; the
+// master must skip it and recover onto the next one.
+func TestSpareDiesWhileIdle(t *testing.T) {
+	tc := newTestCluster(t, nil)
+	spare1 := tc.cl.master.AddSpare()
+	tc.cl.master.AddSpare()
+	const n = 100
+	expect := make(map[int][]byte)
+	tc.runClients(t, 60*time.Second, func(c *Client) {
+		for i := 0; i < n; i++ {
+			v := val(i, 0)
+			if err := c.Insert(key(i), v); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			expect[i] = v
+		}
+	})
+	tc.pl.Fail(spare1)
+	tc.cl.FailMN(2)
+	ok := false
+	for i := 0; i < 60000; i++ {
+		tc.run(time.Millisecond)
+		if _, _, blocksReady := tc.cl.MNState(2); blocksReady {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("recovery never completed despite a healthy second spare")
+	}
+	tc.verifyAll(t, expect)
+}

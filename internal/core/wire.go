@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// RPC method codes served by the memory-node servers (§3.1: the server
+// handles coarse-grained management — space allocation, checkpointing
+// control, erasure-coding control — while all KV data access stays
+// one-sided).
+const (
+	// methodAllocBlock allocates a DATA block on this MN for a client.
+	methodAllocBlock uint8 = iota + 1
+	// methodAllocDelta allocates a DELTA block on this (parity) MN for
+	// a data block of a stripe and records its address in the parity
+	// record (Figure 6, step ①).
+	methodAllocDelta
+	// methodSealBlock stamps the current Index Version into a filled
+	// DATA block's record (§3.2.3).
+	methodSealBlock
+	// methodEncodeDelta asks this (parity) MN to fold the DELTA block
+	// of (stripe, xorID) into its PARITY block in the background
+	// (Figure 6, steps ②-④).
+	methodEncodeDelta
+	// methodFreeBits reports obsolete KV slots for the free bitmap
+	// (§3.3.3, step ①).
+	methodFreeBits
+	// methodQueryOwned lists the unfilled blocks owned by a client,
+	// for CN-crash recovery (§3.4.2).
+	methodQueryOwned
+	// methodCkptPrepare advances the Index Version (phase one of a
+	// checkpoint round; see docs on Server.handleCkptPrepare).
+	methodCkptPrepare
+	// methodCkptSnapshot starts the differential checkpoint pipeline
+	// (phase two).
+	methodCkptSnapshot
+	// methodApplyCkpt tells a checkpoint host that a compressed delta
+	// has landed in its staging area (Figure 3, step ④).
+	methodApplyCkpt
+	// methodPing is the master's lease/liveness probe.
+	methodPing
+	// methodDropDelta discards the DELTA block of (stripe, xorID)
+	// without encoding it (used when an aborted client wrote garbage).
+	methodDropDelta
+)
+
+// RPC status codes.
+const (
+	stOK uint8 = iota
+	stNoSpace
+	stBadArg
+	stConflict
+)
+
+var errRPC = errors.New("core: rpc error")
+
+// enc is a tiny append-based binary encoder for RPC payloads.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// dec is the matching decoder; it panics on truncated input (RPC
+// payloads are trusted intra-system messages; a length bug is a
+// programming error, not an input error).
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u8() uint8 { v := d.b[d.off]; d.off++; return v }
+func (d *dec) u16() uint16 {
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}

@@ -1,0 +1,105 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Reconstruct.
+var (
+	// ErrTooManyMissing reports more missing shards than the code's
+	// parity count can recover.
+	ErrTooManyMissing = errors.New("erasure: too many missing shards")
+	// ErrShardSize reports shards of unequal or unusable length.
+	ErrShardSize = errors.New("erasure: bad shard size")
+)
+
+// Code is a systematic linear erasure code over k equal-size data
+// blocks and m parity blocks. All methods operate on whole shards of
+// one stripe; shards must be the same length (for the XOR code, a
+// multiple of SegmentsPerBlock).
+type Code interface {
+	// Name identifies the code ("xor" or "rs") in reports.
+	Name() string
+	// K returns the number of data shards per stripe.
+	K() int
+	// M returns the number of parity shards per stripe.
+	M() int
+	// Encode computes all parity shards from the data shards.
+	// len(data) == K(), len(parity) == M().
+	Encode(data, parity [][]byte)
+	// Update folds a change to data shard di into the parity shards:
+	// delta is old⊕new of the byte range [off, off+len(delta)) of that
+	// shard. This is the linearity property (§3.3.3): parity follows
+	// without re-reading the other data shards.
+	Update(parity [][]byte, di int, off int, delta []byte)
+	// UpdateOne folds the same delta into a single parity shard pi.
+	// Aceso stores each parity block of a stripe on a different memory
+	// node, and each parity node folds its local DELTA block in
+	// independently (§3.3.2), so per-parity application is the form
+	// the servers actually use.
+	UpdateOne(pi int, parity []byte, di int, off int, delta []byte)
+	// Reconstruct recomputes the missing shards in place. shards holds
+	// the K data shards followed by the M parity shards; present[i]
+	// tells whether shards[i] survived. Missing shards must be
+	// pre-allocated (their contents are ignored and overwritten).
+	Reconstruct(shards [][]byte, present []bool) error
+	// SegmentAlign returns the required shard-length multiple (1 for
+	// codes with no internal layout).
+	SegmentAlign() int
+}
+
+// xorBytes computes dst[i] ^= src[i], vectorised over 8-byte words.
+func xorBytes(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorInto computes dst ^= src (exported for delta computation by the
+// client: delta = oldKV ⊕ newKV).
+func XorInto(dst, src []byte) { xorBytes(dst, src) }
+
+// checkShards validates a shard matrix for a code.
+func checkShards(c Code, shards [][]byte, present []bool) (size int, missing []int, err error) {
+	want := c.K() + c.M()
+	if len(shards) != want || len(present) != want {
+		return 0, nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), want)
+	}
+	size = -1
+	for i, s := range shards {
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, nil, fmt.Errorf("%w: shard %d has %d bytes, others %d", ErrShardSize, i, len(s), size)
+		}
+		if !present[i] {
+			missing = append(missing, i)
+		}
+	}
+	if size%c.SegmentAlign() != 0 {
+		return 0, nil, fmt.Errorf("%w: %d not a multiple of %d", ErrShardSize, size, c.SegmentAlign())
+	}
+	if len(missing) > c.M() {
+		return 0, nil, fmt.Errorf("%w: %d missing, parity %d", ErrTooManyMissing, len(missing), c.M())
+	}
+	return size, missing, nil
+}
+
+// zero clears a byte slice.
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

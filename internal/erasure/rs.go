@@ -1,0 +1,143 @@
+package erasure
+
+import "fmt"
+
+// RSCode is a systematic Reed-Solomon code over GF(2^8) with one or two
+// parity shards (the classic RAID-6 P+Q construction): parity row i has
+// coefficient g^(i·c) for data shard c, with g = 2 the field generator.
+// Any one or two lost shards are recoverable. It is the GF-based
+// comparator of Table 2: correct but slower than the XOR-only code
+// because encoding and reconstruction perform GF multiplications.
+type RSCode struct {
+	k, m int
+}
+
+// NewRS creates a Reed-Solomon code with k data shards and m parity
+// shards (m must be 1 or 2; k+m <= 256).
+func NewRS(k, m int) (*RSCode, error) {
+	if k < 1 || m < 1 || m > 2 || k+m > 256 {
+		return nil, fmt.Errorf("erasure: rs code wants 1<=k, m in {1,2}, k+m<=256; got k=%d m=%d", k, m)
+	}
+	return &RSCode{k: k, m: m}, nil
+}
+
+// Name implements Code.
+func (c *RSCode) Name() string { return "rs" }
+
+// K implements Code.
+func (c *RSCode) K() int { return c.k }
+
+// M implements Code.
+func (c *RSCode) M() int { return c.m }
+
+// SegmentAlign implements Code.
+func (c *RSCode) SegmentAlign() int { return 1 }
+
+// coef returns the encoding coefficient of data shard di in parity row
+// pi.
+func (c *RSCode) coef(pi, di int) byte { return gfPow(pi * di) }
+
+// Encode implements Code.
+func (c *RSCode) Encode(data, parity [][]byte) {
+	for pi := 0; pi < c.m; pi++ {
+		zero(parity[pi])
+		for di := 0; di < c.k; di++ {
+			gfMulSliceXor(c.coef(pi, di), parity[pi], data[di])
+		}
+	}
+}
+
+// Update implements Code: parity_i ^= g^(i·di) * delta at off.
+func (c *RSCode) Update(parity [][]byte, di int, off int, delta []byte) {
+	for pi := 0; pi < c.m; pi++ {
+		c.UpdateOne(pi, parity[pi], di, off, delta)
+	}
+}
+
+// UpdateOne implements Code for a single parity shard.
+func (c *RSCode) UpdateOne(pi int, parity []byte, di int, off int, delta []byte) {
+	gfMulSliceXor(c.coef(pi, di), parity[off:off+len(delta)], delta)
+}
+
+// Reconstruct implements Code. It solves the parity equations over
+// GF(2^8) with the missing shards as unknowns, handling any mix of lost
+// data and parity shards.
+func (c *RSCode) Reconstruct(shards [][]byte, present []bool) error {
+	size, missing, err := checkShards(c, shards, present)
+	if err != nil {
+		return err
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	varOf := make(map[int]int, len(missing))
+	for _, mi := range missing {
+		varOf[mi] = len(varOf)
+	}
+	nvars := len(varOf)
+
+	// Equation for parity row pi: parity_pi ^ sum_di coef*D_di = 0.
+	// Build rows of coefficients over unknowns plus a RHS byte-slice of
+	// the known contributions.
+	var rows [][]byte // coefficient vectors, one per equation
+	var rhs [][]byte
+	for pi := 0; pi < c.m; pi++ {
+		row := make([]byte, nvars)
+		b := make([]byte, size)
+		add := func(shard int, cf byte) {
+			if v, ok := varOf[shard]; ok {
+				row[v] ^= cf
+			} else {
+				gfMulSliceXor(cf, b, shards[shard])
+			}
+		}
+		add(c.k+pi, 1)
+		for di := 0; di < c.k; di++ {
+			add(di, c.coef(pi, di))
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+	}
+
+	// Gauss-Jordan over GF(2^8).
+	pivotRow := make([]int, nvars)
+	nextRow := 0
+	for v := 0; v < nvars; v++ {
+		sel := -1
+		for r := nextRow; r < len(rows); r++ {
+			if rows[r][v] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel == -1 {
+			return fmt.Errorf("erasure: rs reconstruction singular (missing %v)", missing)
+		}
+		rows[sel], rows[nextRow] = rows[nextRow], rows[sel]
+		rhs[sel], rhs[nextRow] = rhs[nextRow], rhs[sel]
+		// Normalise the pivot row.
+		if inv := gfInv(rows[nextRow][v]); inv != 1 {
+			for j := range rows[nextRow] {
+				rows[nextRow][j] = gfMul(rows[nextRow][j], inv)
+			}
+			tmp := make([]byte, size)
+			gfMulSlice(inv, tmp, rhs[nextRow])
+			rhs[nextRow] = tmp
+		}
+		for r := 0; r < len(rows); r++ {
+			if r != nextRow && rows[r][v] != 0 {
+				cf := rows[r][v]
+				for j := range rows[r] {
+					rows[r][j] ^= gfMul(cf, rows[nextRow][j])
+				}
+				gfMulSliceXor(cf, rhs[r], rhs[nextRow])
+			}
+		}
+		pivotRow[v] = nextRow
+		nextRow++
+	}
+	for shard, v := range varOf {
+		copy(shards[shard], rhs[pivotRow[v]])
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package erasure
+
+import "fmt"
+
+// gf2Solver solves XOR parity systems generically: every equation is a
+// set of cells (byte-slice segments) that XOR to zero; the unknowns
+// are the cells of missing shards. It backs both the EVENODD and the
+// X-Code decoders, handling every erasure pattern within the codes'
+// fault bounds uniformly.
+type gf2Solver struct {
+	segSize int
+	varOf   map[cell]int
+}
+
+func newGF2Solver(segSize int) *gf2Solver {
+	return &gf2Solver{segSize: segSize, varOf: make(map[cell]int)}
+}
+
+// addUnknown registers a cell as an unknown variable.
+func (sv *gf2Solver) addUnknown(c cell) {
+	if _, ok := sv.varOf[c]; !ok {
+		sv.varOf[c] = len(sv.varOf)
+	}
+}
+
+// solve eliminates the system given by equations (each a list of
+// cells) with known-cell contents supplied by fetch, and stores every
+// solved unknown via store. It returns an error when the system is
+// singular (erasures beyond the code's bound).
+func (sv *gf2Solver) solve(equations [][]cell, fetch func(cell) []byte, store func(cell, []byte)) error {
+	nvars := len(sv.varOf)
+	if nvars == 0 {
+		return nil
+	}
+	words := (nvars + 63) / 64
+	rows := make([][]uint64, 0, len(equations))
+	rhs := make([][]byte, 0, len(equations))
+	for _, eq := range equations {
+		row := make([]uint64, words)
+		b := make([]byte, sv.segSize)
+		touches := false
+		for _, cl := range eq {
+			if v, ok := sv.varOf[cl]; ok {
+				row[v/64] ^= 1 << (v % 64)
+				touches = true
+			} else {
+				xorBytes(b, fetch(cl))
+			}
+		}
+		if !touches {
+			continue // equation over knowns only: no information
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+	}
+
+	pivotRow := make([]int, nvars)
+	next := 0
+	for v := 0; v < nvars; v++ {
+		sel := -1
+		for r := next; r < len(rows); r++ {
+			if rows[r][v/64]&(1<<(v%64)) != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel == -1 {
+			return fmt.Errorf("erasure: xor system singular (%d unknowns)", nvars)
+		}
+		rows[sel], rows[next] = rows[next], rows[sel]
+		rhs[sel], rhs[next] = rhs[next], rhs[sel]
+		for r := 0; r < len(rows); r++ {
+			if r != next && rows[r][v/64]&(1<<(v%64)) != 0 {
+				for w := range rows[r] {
+					rows[r][w] ^= rows[next][w]
+				}
+				xorBytes(rhs[r], rhs[next])
+			}
+		}
+		pivotRow[v] = next
+		next++
+	}
+	for cl, v := range sv.varOf {
+		store(cl, rhs[pivotRow[v]])
+	}
+	return nil
+}

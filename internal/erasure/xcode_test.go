@@ -1,0 +1,146 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeXCols(x *XCode, segSize int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]byte, x.P())
+	for i := range cols {
+		cols[i] = make([]byte, segSize*x.P())
+		// Fill data rows; parity rows are computed by Encode.
+		rng.Read(cols[i][:segSize*x.DataRows()])
+	}
+	if err := x.Encode(cols); err != nil {
+		panic(err)
+	}
+	return cols
+}
+
+func TestXCodeRejectsBadP(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 4, 6, 8, 9} {
+		if _, err := NewXCode(p); err == nil {
+			t.Errorf("p=%d accepted", p)
+		}
+	}
+	for _, p := range []int{5, 7, 11, 13} {
+		if _, err := NewXCode(p); err != nil {
+			t.Errorf("p=%d rejected: %v", p, err)
+		}
+	}
+}
+
+// TestXCodeAllErasurePairs verifies the MDS property: any one or two
+// lost columns are recoverable, for several primes.
+func TestXCodeAllErasurePairs(t *testing.T) {
+	for _, p := range []int{5, 7, 11} {
+		x, err := NewXCode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const segSize = 48
+		orig := makeXCols(x, segSize, int64(p))
+		for a := 0; a < p; a++ {
+			for b := a; b < p; b++ {
+				cols := make([][]byte, p)
+				present := make([]bool, p)
+				for i := range cols {
+					if i == a || i == b {
+						cols[i] = make([]byte, segSize*p)
+					} else {
+						cols[i] = append([]byte(nil), orig[i]...)
+						present[i] = true
+					}
+				}
+				if err := x.Reconstruct(cols, present); err != nil {
+					t.Fatalf("p=%d erase (%d,%d): %v", p, a, b, err)
+				}
+				for i := range cols {
+					if !bytes.Equal(cols[i], orig[i]) {
+						t.Fatalf("p=%d erase (%d,%d): column %d wrong", p, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXCodeThreeErasuresRejected(t *testing.T) {
+	x, _ := NewXCode(5)
+	cols := makeXCols(x, 32, 1)
+	present := []bool{false, false, false, true, true}
+	if err := x.Reconstruct(cols, present); err == nil {
+		t.Fatal("three erasures reconstructed")
+	}
+}
+
+func TestXCodeColumnValidation(t *testing.T) {
+	x, _ := NewXCode(5)
+	cols := makeXCols(x, 32, 2)
+	if err := x.Encode(cols[:4]); err == nil {
+		t.Fatal("wrong column count accepted")
+	}
+	cols[2] = cols[2][:len(cols[2])-1]
+	if err := x.Encode(cols); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+	bad := [][]byte{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}}
+	if err := x.Encode(bad); err == nil {
+		t.Fatal("non-multiple column length accepted")
+	}
+}
+
+func TestXCodeQuick(t *testing.T) {
+	x, _ := NewXCode(5)
+	f := func(seed int64, ea, eb uint8) bool {
+		orig := makeXCols(x, 16, seed)
+		p := x.P()
+		a, b := int(ea)%p, int(eb)%p
+		cols := make([][]byte, p)
+		present := make([]bool, p)
+		for i := range cols {
+			if i == a || i == b {
+				cols[i] = make([]byte, 16*p)
+			} else {
+				cols[i] = append([]byte(nil), orig[i]...)
+				present[i] = true
+			}
+		}
+		if err := x.Reconstruct(cols, present); err != nil {
+			return false
+		}
+		for i := range cols {
+			if !bytes.Equal(cols[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEncodeXCode measures the X-Code encode kernel for
+// comparison with the EVENODD and RS kernels (Table 2 discussion).
+func BenchmarkEncodeXCode(b *testing.B) {
+	x, _ := NewXCode(5)
+	segSize := (2 << 20) / 5 / 64 * 64
+	cols := make([][]byte, 5)
+	rng := rand.New(rand.NewSource(1))
+	for i := range cols {
+		cols[i] = make([]byte, segSize*5)
+		rng.Read(cols[i])
+	}
+	b.SetBytes(int64(5 * segSize * 3)) // data payload
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Encode(cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

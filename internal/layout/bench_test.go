@@ -1,0 +1,37 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkEncodeKV(b *testing.B) {
+	key := []byte("user000000001234")
+	val := bytes.Repeat([]byte("v"), 1024)
+	dst := make([]byte, KVClassSize(len(key), len(val)))
+	b.SetBytes(int64(len(dst)))
+	for i := 0; i < b.N; i++ {
+		EncodeKV(dst, key, val, 7, 1, false)
+	}
+}
+
+func BenchmarkDecodeKV(b *testing.B) {
+	key := []byte("user000000001234")
+	val := bytes.Repeat([]byte("v"), 1024)
+	buf := make([]byte, KVClassSize(len(key), len(val)))
+	EncodeKV(buf, key, val, 7, 1, false)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeKV(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	r := Record{Role: RoleParity, Valid: true, StripeID: 9, XORMap: 0b101}
+	dst := make([]byte, RecordSize)
+	for i := 0; i < b.N; i++ {
+		EncodeRecord(dst, &r)
+	}
+}

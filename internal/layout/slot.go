@@ -1,0 +1,115 @@
+// Package layout defines every on-memory format Aceso uses: the 16-byte
+// index slot (§3.2.2), the KV-pair wire layout with write-version
+// fences (§3.4.2), the per-block metadata record of the Meta Area
+// (Figure 5), and the division of each memory node's registered region
+// into Index, Meta, Checkpoint and Block areas (Figure 2).
+//
+// Everything here is pure byte-slice encoding with no I/O; the client
+// and server packages compose these with rdma verbs.
+package layout
+
+import "math"
+
+// Index slot (16 bytes, Figure 3).
+//
+// The first 8 bytes are the Atomic field, modified only by RDMA_CAS:
+//
+//	[63:56] fp    8-bit key fingerprint
+//	[55:48] ver   8-bit slot version (low half of the logical version)
+//	[47:0]  addr  48-bit global address of the KV pair
+//
+// The remaining 8 bytes are the Meta field:
+//
+//	[63:8] epoch  56-bit epoch; the low bit is the lock flag (odd=locked)
+//	[7:0]  len    KV-pair length in 64-byte units
+type SlotAtomic struct {
+	FP   uint8
+	Ver  uint8
+	Addr uint64 // 48-bit packed global address, 0 = empty slot
+}
+
+// SlotMeta is the decoded Meta field of an index slot.
+type SlotMeta struct {
+	Epoch uint64 // 56-bit epoch including the lock bit
+	Len   uint8  // KV size in 64B units (0 = unknown)
+}
+
+// Pack encodes the Atomic field into its CASable 8-byte word.
+func (a SlotAtomic) Pack() uint64 {
+	return uint64(a.FP)<<56 | uint64(a.Ver)<<48 | a.Addr&addrMask
+}
+
+// UnpackAtomic decodes an Atomic word.
+func UnpackAtomic(w uint64) SlotAtomic {
+	return SlotAtomic{FP: uint8(w >> 56), Ver: uint8(w >> 48), Addr: w & addrMask}
+}
+
+// Pack encodes the Meta field into its CASable 8-byte word.
+func (m SlotMeta) Pack() uint64 {
+	return m.Epoch<<8 | uint64(m.Len)
+}
+
+// UnpackMeta decodes a Meta word.
+func UnpackMeta(w uint64) SlotMeta {
+	return SlotMeta{Epoch: w >> 8, Len: uint8(w)}
+}
+
+// Locked reports whether the epoch's lock bit is set (odd epoch).
+func (m SlotMeta) Locked() bool { return m.Epoch&1 == 1 }
+
+const (
+	addrMask = (1 << 48) - 1
+	// addrNodeBits of the 48-bit packed address select the memory
+	// node; the rest is the byte offset within its region (up to 1 TB).
+	addrNodeBits = 8
+	addrOffBits  = 48 - addrNodeBits
+	addrOffMask  = (1 << addrOffBits) - 1
+)
+
+// PackAddr packs a (node, offset) pair into the slot's 48-bit address.
+func PackAddr(node uint16, off uint64) uint64 {
+	if off > addrOffMask {
+		panic("layout: offset exceeds 40-bit address space")
+	}
+	return uint64(node)<<addrOffBits | off
+}
+
+// UnpackAddr splits a packed 48-bit address.
+func UnpackAddr(a uint64) (node uint16, off uint64) {
+	return uint16(a >> addrOffBits), a & addrOffMask
+}
+
+// SlotVersion composes the 64-bit logical slot version from the 56-bit
+// epoch and the 8-bit version: epoch‖ver (§3.2.2). Stable (unlocked)
+// epochs are even — locking increments by one, unlocking by one more —
+// so the logical version is strictly monotonic across rollovers.
+func SlotVersion(epoch uint64, ver uint8) uint64 {
+	return epoch<<8 | uint64(ver)
+}
+
+// InvalidVersion marks a KV pair whose commit CAS failed (§3.2.2,
+// Algorithm 1 line 18): the "-1" slot version.
+const InvalidVersion = math.MaxUint64
+
+// VerMax is the 8-bit version rollover point (0xFF): when a slot's
+// version wraps past it, the writer must bump the epoch under the Meta
+// lock.
+const VerMax = 0xFF
+
+// SlotSize is the byte size of an index slot; SlotAtomicOff and
+// SlotMetaOff are the offsets of its two words within the slot.
+const (
+	SlotSize      = 16
+	SlotAtomicOff = 0
+	SlotMetaOff   = 8
+)
+
+// BucketSlots is the number of slots per hash bucket, read with a
+// single RDMA_READ. RACE-style buckets hold 8 slots: with FUSEE's 8 B
+// slots that is a 64 B bucket; with Aceso's 16 B slots it doubles to
+// 128 B — the read amplification the "+SLOT" factor-analysis step
+// (Figure 13) measures and the slot-address cache wins back.
+const BucketSlots = 8
+
+// BucketSize is the byte size of one bucket.
+const BucketSize = BucketSlots * SlotSize

@@ -1,0 +1,35 @@
+package racehash
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func BenchmarkHash(b *testing.B) {
+	key := []byte("user000000001234")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		Hash(key)
+	}
+}
+
+func BenchmarkBucketPair(b *testing.B) {
+	h := Hash([]byte("user000000001234"))
+	for i := 0; i < b.N; i++ {
+		BucketPair(h, 1<<14)
+	}
+}
+
+func BenchmarkScanBuckets(b *testing.B) {
+	bucket := make([]byte, layout.BucketSize)
+	for s := 0; s < layout.BucketSlots; s++ {
+		a := layout.SlotAtomic{FP: uint8(s + 1), Ver: 1, Addr: layout.PackAddr(1, uint64(s)*64)}
+		binary.LittleEndian.PutUint64(bucket[s*layout.SlotSize:], a.Pack())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanBuckets(3, bucket, bucket)
+	}
+}

@@ -1,0 +1,121 @@
+package racehash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+)
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if Hash([]byte("key")) != Hash([]byte("key")) {
+		t.Fatal("hash not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		h := Hash([]byte(fmt.Sprintf("key-%d", i)))
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHomeMNBalance(t *testing.T) {
+	const n, keys = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[HomeMN(Hash([]byte(fmt.Sprintf("key-%d", i))), n)]++
+	}
+	for mn, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.25 {
+			t.Fatalf("mn %d gets %.3f of keys, want ~0.20", mn, frac)
+		}
+	}
+}
+
+func TestFingerprintNeverZero(t *testing.T) {
+	f := func(h uint64) bool { return Fingerprint(h) != 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketPairDistinct(t *testing.T) {
+	f := func(h uint64, nbRaw uint16) bool {
+		nb := uint64(nbRaw)%1000 + 2
+		b1, b2 := BucketPair(h, nb)
+		return b1 < nb && b2 < nb && b1 != b2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBalance(t *testing.T) {
+	const nb, keys = 1024, 100000
+	counts := make([]int, nb)
+	for i := 0; i < keys; i++ {
+		b1, b2 := BucketPair(Hash([]byte(fmt.Sprintf("key-%d", i))), nb)
+		counts[b1]++
+		counts[b2]++
+	}
+	mean := float64(2*keys) / nb
+	for b, c := range counts {
+		if float64(c) < mean*0.5 || float64(c) > mean*1.6 {
+			t.Fatalf("bucket %d load %d vs mean %.1f", b, c, mean)
+		}
+	}
+}
+
+func makeBucket(entries map[int]layout.SlotAtomic) []byte {
+	b := make([]byte, layout.BucketSize)
+	for s, a := range entries {
+		binary.LittleEndian.PutUint64(b[s*layout.SlotSize:], a.Pack())
+	}
+	return b
+}
+
+func TestScanBuckets(t *testing.T) {
+	fp := uint8(0x5A)
+	b1 := makeBucket(map[int]layout.SlotAtomic{
+		0: {FP: fp, Ver: 3, Addr: layout.PackAddr(1, 4096)},
+		2: {FP: 0x11, Ver: 1, Addr: layout.PackAddr(1, 8192)},
+	})
+	b2 := makeBucket(map[int]layout.SlotAtomic{
+		1: {FP: fp, Ver: 9, Addr: layout.PackAddr(2, 128)},
+	})
+	ms := ScanBuckets(fp, b1, b2)
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want 2", len(ms))
+	}
+	if ms[0].Bucket != 0 || ms[0].Slot != 0 || ms[0].Atomic.Ver != 3 {
+		t.Fatalf("first match wrong: %+v", ms[0])
+	}
+	if ms[1].Bucket != 1 || ms[1].Slot != 1 || ms[1].Atomic.Ver != 9 {
+		t.Fatalf("second match wrong: %+v", ms[1])
+	}
+}
+
+func TestFreeSlotAndLoad(t *testing.T) {
+	b := makeBucket(map[int]layout.SlotAtomic{
+		0: {FP: 1, Addr: 1},
+		1: {FP: 2, Addr: 2},
+	})
+	if FreeSlot(b) != 2 {
+		t.Fatalf("free slot = %d, want 2", FreeSlot(b))
+	}
+	if Load(b) != 2 {
+		t.Fatalf("load = %d, want 2", Load(b))
+	}
+	entries := map[int]layout.SlotAtomic{}
+	for s := 0; s < layout.BucketSlots; s++ {
+		entries[s] = layout.SlotAtomic{FP: 1, Addr: 1}
+	}
+	if FreeSlot(makeBucket(entries)) != -1 {
+		t.Fatal("full bucket reported a free slot")
+	}
+}

@@ -1,0 +1,191 @@
+// Package rdma defines the one-sided verb abstraction that Aceso and
+// the FUSEE baseline are written against: remote READ/WRITE, atomic
+// CAS/FAA on 8-byte words, doorbell-batched operation lists, and a
+// UD-style RPC channel to memory-node servers.
+//
+// Two fabrics implement the abstraction: rdma/simnet (a deterministic
+// simulated network with an explicit NIC/CPU cost model, used by all
+// benchmarks) and rdma/tcpnet (a real TCP transport, used by the
+// daemon, CLI and examples). Store code cannot tell them apart.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a physical node (compute or memory) on the fabric.
+type NodeID uint16
+
+// GlobalAddr is an address in the disaggregated memory pool: a node and
+// a byte offset into that node's registered memory region.
+type GlobalAddr struct {
+	Node NodeID
+	Off  uint64
+}
+
+// Add returns the address displaced by d bytes.
+func (a GlobalAddr) Add(d uint64) GlobalAddr { return GlobalAddr{a.Node, a.Off + d} }
+
+func (a GlobalAddr) String() string { return fmt.Sprintf("mn%d+0x%x", a.Node, a.Off) }
+
+// Errors returned by verb implementations.
+var (
+	// ErrNodeFailed reports that the target node has fail-stopped; its
+	// memory contents are lost.
+	ErrNodeFailed = errors.New("rdma: target node failed")
+	// ErrOutOfBounds reports an access outside the registered region.
+	ErrOutOfBounds = errors.New("rdma: access out of registered region")
+	// ErrUnaligned reports an atomic on a non-8-byte-aligned address.
+	ErrUnaligned = errors.New("rdma: atomic on unaligned address")
+	// ErrNoHandler reports an RPC to a node with no registered server.
+	ErrNoHandler = errors.New("rdma: no RPC handler on target node")
+)
+
+// OpKind distinguishes entries of a doorbell-batched operation list.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpFAA
+)
+
+// Op is one entry in a doorbell-batched list. The batch is posted with
+// a single doorbell (one client-NIC message) and the entries execute
+// concurrently; Verbs.Batch returns when the last completion arrives.
+type Op struct {
+	Kind OpKind
+	Addr GlobalAddr
+	// Buf is the local buffer: destination for OpRead, source for
+	// OpWrite. Unused by atomics.
+	Buf []byte
+	// Old and New are the compare/swap values for OpCAS; New is the
+	// addend for OpFAA.
+	Old, New uint64
+	// Result receives the fetched previous value for OpCAS and OpFAA.
+	Result uint64
+	// Err receives a per-op error (e.g. target failed mid-batch).
+	Err error
+}
+
+// Verbs is the one-sided operation set available to a client or
+// memory-node server process. Implementations are not safe for
+// concurrent use by multiple processes; each process dials its own.
+type Verbs interface {
+	// Read copies len(buf) bytes from addr into buf.
+	Read(buf []byte, addr GlobalAddr) error
+	// Write copies data to addr.
+	Write(addr GlobalAddr, data []byte) error
+	// CAS atomically compares the 8-byte word at addr with old and, if
+	// equal, writes new. It returns the previous value; the swap
+	// succeeded iff prev == old.
+	CAS(addr GlobalAddr, old, new uint64) (prev uint64, err error)
+	// FAA atomically adds delta to the 8-byte word at addr and returns
+	// the previous value.
+	FAA(addr GlobalAddr, delta uint64) (prev uint64, err error)
+	// Batch posts ops as one doorbell-batched list and waits for all
+	// completions. Per-op failures are stored in Op.Err; Batch returns
+	// the first non-nil one (after completing the rest).
+	Batch(ops []Op) error
+	// Post issues ops unsignaled (selective signaling, §3.5.2 of the
+	// paper): the caller pays only the doorbell cost and does not wait
+	// for remote completion. Use for fire-and-forget repairs whose
+	// results are never read (length-hint fixes, invalidation stamps).
+	Post(ops []Op) error
+	// RPC sends req to the server process on node and waits for its
+	// response (two-sided, UD-style).
+	RPC(node NodeID, method uint8, req []byte) ([]byte, error)
+}
+
+// Handler is a memory-node server's RPC dispatch function. It must be
+// quick and purely local (the paper's MN servers only do coarse-grained
+// management); it returns the response and the CPU time the request
+// consumed on the node's RPC core, which simulated fabrics charge to
+// that core.
+type Handler func(method uint8, req []byte) (resp []byte, cpu time.Duration)
+
+// Ctx is the execution context handed to every spawned process: a
+// virtual (or wall) clock, the process's verb connection, and access to
+// the local node's CPU cores for charging background-work costs.
+type Ctx interface {
+	Verbs
+	// Node returns the node this process runs on.
+	Node() NodeID
+	// Now returns the current time (virtual on simulated fabrics).
+	Now() time.Duration
+	// Sleep suspends the process for d.
+	Sleep(d time.Duration)
+	// UseCPU charges d of work to the local node's CPU core (queueing
+	// behind other users of that core). On real fabrics it is a no-op:
+	// the work itself takes real time.
+	UseCPU(core int, d time.Duration)
+	// LocalMem returns the local node's registered memory region (the
+	// MN server process manipulates its own pool memory directly, as a
+	// server thread on the paper's memory nodes does). It is nil on
+	// compute nodes.
+	LocalMem() []byte
+}
+
+// MemNodeConfig sizes a memory node.
+type MemNodeConfig struct {
+	// MemBytes is the size of the registered memory region.
+	MemBytes uint64
+	// CPUCores is the number of server cores (the paper assigns 4: RPC
+	// serving, erasure coding, checkpoint send, checkpoint receive).
+	CPUCores int
+}
+
+// Platform abstracts a cluster substrate: it creates nodes, spawns
+// processes on them, and injects fail-stop failures. simnet.Platform
+// and tcpnet.Platform implement it.
+type Platform interface {
+	// AddMemNode registers a memory node and returns its id.
+	AddMemNode(cfg MemNodeConfig) NodeID
+	// AddComputeNode registers a compute node (no memory region).
+	AddComputeNode() NodeID
+	// SetHandler installs the RPC server function for a memory node.
+	SetHandler(node NodeID, h Handler)
+	// Spawn starts fn as a process on node. On simulated fabrics the
+	// process participates in virtual time.
+	Spawn(node NodeID, name string, fn func(Ctx))
+	// Fail fail-stops a node: its memory contents are lost and all
+	// verbs targeting it return ErrNodeFailed.
+	Fail(node NodeID)
+	// Memory returns the registered memory region of a node when it is
+	// locally accessible (always on the simulated fabric; only for the
+	// daemon's own node on distributed fabrics), else nil. Server
+	// processes use it for direct local-memory access.
+	Memory(node NodeID) []byte
+	// MemMutex returns a locker that serialises direct local-memory
+	// access with the fabric's remote-verb executor for the node.
+	// Simulated fabrics return a no-op locker (their scheduler already
+	// serialises everything); the TCP fabric returns the verb
+	// executor's region lock.
+	MemMutex(node NodeID) sync.Locker
+}
+
+// NopLocker is a no-op sync.Locker for fabrics whose scheduling
+// already serialises memory access.
+type NopLocker struct{}
+
+// Lock implements sync.Locker.
+func (NopLocker) Lock() {}
+
+// Unlock implements sync.Locker.
+func (NopLocker) Unlock() {}
+
+// CPU core roles on a memory node, matching the paper's assignment
+// (§4.1): one core each for RPC serving, erasure coding, checkpoint
+// sending and checkpoint receiving.
+const (
+	CoreRPC = iota
+	CoreErasure
+	CoreCkptSend
+	CoreCkptRecv
+	NumMNCores
+)

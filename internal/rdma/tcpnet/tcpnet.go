@@ -1,0 +1,626 @@
+// Package tcpnet implements the rdma verb abstraction over real TCP
+// connections, so an Aceso coding group can run as separate daemon
+// processes (cmd/acesod) with real clients (cmd/acesocli) — software
+// emulation of one-sided RDMA, in the spirit of SoftRoCE.
+//
+// Every daemon serves a verb executor for its registered memory region
+// (READ/WRITE/CAS/FAA applied under a region lock, preserving atomic
+// semantics) plus the RPC dispatch of its memory-node server. A
+// process's Platform knows the static cluster topology (node id →
+// address); node ids are assigned in AddMemNode call order, so
+// core.NewCluster builds the same topology in every process.
+//
+// Scope: the TCP fabric supports the full steady-state system (CRUD,
+// differential checkpointing, offline erasure coding, delta-based
+// reclamation). Cross-process failure recovery requires the membership
+// service the paper assumes as given; failure handling is exercised on
+// the simulated fabric.
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// Wire opcodes.
+const (
+	opRead uint8 = iota + 1
+	opWrite
+	opCAS
+	opFAA
+	opRPC
+)
+
+// Wire status codes.
+const (
+	stOK uint8 = iota
+	stErrBounds
+	stErrUnaligned
+	stErrNoHandler
+	stErrBadFrame
+)
+
+// Platform is one process's view of a TCP cluster. It implements
+// rdma.Platform.
+type Platform struct {
+	addrs []string // node id -> listen address ("" for compute nodes)
+	local rdma.NodeID
+	isMem bool
+
+	mu      sync.Mutex
+	nextMem int
+	nextCN  int
+	mem     []byte
+	handler rdma.Handler
+	srv     *server
+	start   time.Time
+}
+
+var _ rdma.Platform = (*Platform)(nil)
+
+// New creates a platform for one process. memAddrs lists every memory
+// node's address in logical order; local is this process's node id
+// (equal to its index in memAddrs for a daemon, or returned later by
+// AddComputeNode for a client process). A daemon passes isMem=true and
+// starts serving when AddMemNode reaches its id.
+func New(memAddrs []string, local rdma.NodeID, isMem bool) *Platform {
+	return &Platform{
+		addrs: append([]string(nil), memAddrs...),
+		local: local,
+		isMem: isMem,
+		start: time.Now(),
+	}
+}
+
+// AddMemNode implements rdma.Platform: it assigns the next logical
+// memory-node id. When the id is this process's own, the memory region
+// is allocated and the verb server starts listening.
+func (pl *Platform) AddMemNode(cfg rdma.MemNodeConfig) rdma.NodeID {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	id := rdma.NodeID(pl.nextMem)
+	pl.nextMem++
+	if pl.isMem && id == pl.local {
+		pl.mem = make([]byte, cfg.MemBytes)
+		srv, err := newServer(pl.addrs[id], pl)
+		if err != nil {
+			panic(fmt.Sprintf("tcpnet: listen %s: %v", pl.addrs[id], err))
+		}
+		pl.srv = srv
+	}
+	return id
+}
+
+// AddComputeNode implements rdma.Platform: compute nodes get ids after
+// the memory nodes and never listen.
+func (pl *Platform) AddComputeNode() rdma.NodeID {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	id := rdma.NodeID(len(pl.addrs) + pl.nextCN)
+	pl.nextCN++
+	return id
+}
+
+// SetHandler implements rdma.Platform (local node only; remote
+// handlers are installed by their own daemons).
+func (pl *Platform) SetHandler(node rdma.NodeID, h rdma.Handler) {
+	if node == pl.local && pl.isMem {
+		pl.mu.Lock()
+		pl.handler = h
+		pl.mu.Unlock()
+	}
+}
+
+// Spawn implements rdma.Platform: local processes run as goroutines
+// with a wall-clock context; spawns for remote nodes are no-ops (their
+// daemons start them).
+func (pl *Platform) Spawn(node rdma.NodeID, name string, fn func(rdma.Ctx)) {
+	if int(node) < len(pl.addrs) && (node != pl.local || !pl.isMem) {
+		return // a remote daemon's process
+	}
+	go fn(&ctx{pl: pl, node: node, verbs: newVerbs(pl)})
+}
+
+// Fail implements rdma.Platform. Failure injection is not supported on
+// the TCP fabric (see the package comment).
+func (pl *Platform) Fail(node rdma.NodeID) {}
+
+// Memory implements rdma.Platform: only the local daemon's region is
+// directly accessible.
+func (pl *Platform) Memory(node rdma.NodeID) []byte {
+	if node == pl.local && pl.isMem {
+		return pl.mem
+	}
+	return nil
+}
+
+// MemMutex implements rdma.Platform: the local daemon's verb-executor
+// lock, so MN server daemons can serialise their direct memory access
+// against remote verbs.
+func (pl *Platform) MemMutex(node rdma.NodeID) sync.Locker {
+	if node == pl.local && pl.isMem && pl.srv != nil {
+		return &pl.srv.mu
+	}
+	return rdma.NopLocker{}
+}
+
+// Close stops the local listener.
+func (pl *Platform) Close() {
+	if pl.srv != nil {
+		pl.srv.close()
+	}
+}
+
+// Addr returns the listen address actually bound (useful when
+// listening on port 0 in tests).
+func (pl *Platform) Addr() string {
+	if pl.srv == nil {
+		return ""
+	}
+	return pl.srv.ln.Addr().String()
+}
+
+// SetResolvedAddr overrides a node's dial address (tests bind port 0
+// and publish the resolved address).
+func (pl *Platform) SetResolvedAddr(node rdma.NodeID, addr string) {
+	pl.mu.Lock()
+	pl.addrs[node] = addr
+	pl.mu.Unlock()
+}
+
+// --- server side ---
+
+type server struct {
+	pl *Platform
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu sync.Mutex // serialises verb application (atomic semantics)
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newServer(addr string, pl *Platform) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{pl: pl, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *server) close() {
+	s.ln.Close()
+	s.connMu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+// track registers a live connection; it reports false when the server
+// is already shutting down.
+func (s *server) track(c net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Request frame: op(1) off(8) n(4) payload(n).
+// Response frame: status(1) result(8) n(4) payload(n).
+func (s *server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		off := binary.LittleEndian.Uint64(hdr[1:9])
+		n := binary.LittleEndian.Uint32(hdr[9:13])
+		var payload []byte
+		if op != opRead && n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+		}
+		status, result, resp := s.apply(op, off, int(n), payload)
+		var rh [13]byte
+		rh[0] = status
+		binary.LittleEndian.PutUint64(rh[1:9], result)
+		binary.LittleEndian.PutUint32(rh[9:13], uint32(len(resp)))
+		if _, err := bw.Write(rh[:]); err != nil {
+			return
+		}
+		if len(resp) > 0 {
+			if _, err := bw.Write(resp); err != nil {
+				return
+			}
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// apply executes one verb against local memory under the region lock.
+func (s *server) apply(op uint8, off uint64, n int, payload []byte) (uint8, uint64, []byte) {
+	if op == opRPC {
+		s.pl.mu.Lock()
+		h := s.pl.handler
+		s.pl.mu.Unlock()
+		if h == nil {
+			return stErrNoHandler, 0, nil
+		}
+		if len(payload) < 1 {
+			return stErrBadFrame, 0, nil
+		}
+		resp, _ := h(payload[0], payload[1:])
+		return stOK, 0, resp
+	}
+	mem := s.pl.mem
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case opRead:
+		if off+uint64(n) > uint64(len(mem)) {
+			return stErrBounds, 0, nil
+		}
+		out := make([]byte, n)
+		copy(out, mem[off:])
+		return stOK, 0, out
+	case opWrite:
+		if off+uint64(len(payload)) > uint64(len(mem)) {
+			return stErrBounds, 0, nil
+		}
+		copy(mem[off:], payload)
+		return stOK, 0, nil
+	case opCAS:
+		if off%8 != 0 {
+			return stErrUnaligned, 0, nil
+		}
+		if off+8 > uint64(len(mem)) || len(payload) != 16 {
+			return stErrBounds, 0, nil
+		}
+		old := binary.LittleEndian.Uint64(payload[:8])
+		new := binary.LittleEndian.Uint64(payload[8:])
+		cur := binary.LittleEndian.Uint64(mem[off:])
+		if cur == old {
+			binary.LittleEndian.PutUint64(mem[off:], new)
+		}
+		return stOK, cur, nil
+	case opFAA:
+		if off%8 != 0 {
+			return stErrUnaligned, 0, nil
+		}
+		if off+8 > uint64(len(mem)) || len(payload) != 8 {
+			return stErrBounds, 0, nil
+		}
+		delta := binary.LittleEndian.Uint64(payload)
+		cur := binary.LittleEndian.Uint64(mem[off:])
+		binary.LittleEndian.PutUint64(mem[off:], cur+delta)
+		return stOK, cur, nil
+	}
+	return stErrBadFrame, 0, nil
+}
+
+// --- client side ---
+
+// verbs is one process's connection set; it is not safe for concurrent
+// use (each spawned process gets its own, as the rdma.Verbs contract
+// requires).
+type verbs struct {
+	pl    *Platform
+	conns map[rdma.NodeID]*nodeConn
+}
+
+type nodeConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newVerbs(pl *Platform) *verbs {
+	return &verbs{pl: pl, conns: make(map[rdma.NodeID]*nodeConn)}
+}
+
+func (v *verbs) conn(node rdma.NodeID) (*nodeConn, error) {
+	if nc, ok := v.conns[node]; ok {
+		return nc, nil
+	}
+	if int(node) >= len(v.pl.addrs) {
+		return nil, fmt.Errorf("%w: node %d has no address", rdma.ErrOutOfBounds, node)
+	}
+	v.pl.mu.Lock()
+	addr := v.pl.addrs[node]
+	v.pl.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", rdma.ErrNodeFailed, addr, err)
+	}
+	nc := &nodeConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16)}
+	v.conns[node] = nc
+	return nc, nil
+}
+
+func (nc *nodeConn) send(op uint8, off uint64, n uint32, payload []byte) error {
+	var hdr [13]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint64(hdr[1:9], off)
+	binary.LittleEndian.PutUint32(hdr[9:13], n)
+	if _, err := nc.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := nc.bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (nc *nodeConn) recv() (status uint8, result uint64, payload []byte, err error) {
+	var hdr [13]byte
+	if _, err = io.ReadFull(nc.br, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:13])
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(nc.br, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return hdr[0], binary.LittleEndian.Uint64(hdr[1:9]), payload, nil
+}
+
+func statusErr(st uint8) error {
+	switch st {
+	case stOK:
+		return nil
+	case stErrBounds:
+		return rdma.ErrOutOfBounds
+	case stErrUnaligned:
+		return rdma.ErrUnaligned
+	case stErrNoHandler:
+		return rdma.ErrNoHandler
+	}
+	return fmt.Errorf("tcpnet: bad frame (status %d)", st)
+}
+
+// doOp sends one op and waits for its response.
+func (v *verbs) doOp(op *rdma.Op) {
+	nc, err := v.conn(op.Addr.Node)
+	if err != nil {
+		op.Err = err
+		return
+	}
+	switch op.Kind {
+	case rdma.OpRead:
+		err = nc.send(opRead, op.Addr.Off, uint32(len(op.Buf)), nil)
+	case rdma.OpWrite:
+		err = nc.send(opWrite, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
+	case rdma.OpCAS:
+		var p [16]byte
+		binary.LittleEndian.PutUint64(p[:8], op.Old)
+		binary.LittleEndian.PutUint64(p[8:], op.New)
+		err = nc.send(opCAS, op.Addr.Off, 16, p[:])
+	case rdma.OpFAA:
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], op.New)
+		err = nc.send(opFAA, op.Addr.Off, 8, p[:])
+	}
+	if err == nil {
+		err = nc.bw.Flush()
+	}
+	if err != nil {
+		op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+		delete(v.conns, op.Addr.Node)
+		return
+	}
+	st, result, payload, err := nc.recv()
+	if err != nil {
+		op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+		delete(v.conns, op.Addr.Node)
+		return
+	}
+	if err := statusErr(st); err != nil {
+		op.Err = err
+		return
+	}
+	op.Result = result
+	if op.Kind == rdma.OpRead {
+		copy(op.Buf, payload)
+	}
+}
+
+func (v *verbs) Read(buf []byte, addr rdma.GlobalAddr) error {
+	op := rdma.Op{Kind: rdma.OpRead, Addr: addr, Buf: buf}
+	v.doOp(&op)
+	return op.Err
+}
+
+func (v *verbs) Write(addr rdma.GlobalAddr, data []byte) error {
+	op := rdma.Op{Kind: rdma.OpWrite, Addr: addr, Buf: data}
+	v.doOp(&op)
+	return op.Err
+}
+
+func (v *verbs) CAS(addr rdma.GlobalAddr, old, new uint64) (uint64, error) {
+	op := rdma.Op{Kind: rdma.OpCAS, Addr: addr, Old: old, New: new}
+	v.doOp(&op)
+	return op.Result, op.Err
+}
+
+func (v *verbs) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
+	op := rdma.Op{Kind: rdma.OpFAA, Addr: addr, New: delta}
+	v.doOp(&op)
+	return op.Result, op.Err
+}
+
+// Batch pipelines the ops (all requests written before responses are
+// read, per connection) and returns the first error.
+func (v *verbs) Batch(ops []rdma.Op) error {
+	// Send phase, grouped by connection to preserve pipelining.
+	sent := make([]bool, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		nc, err := v.conn(op.Addr.Node)
+		if err != nil {
+			op.Err = err
+			continue
+		}
+		switch op.Kind {
+		case rdma.OpRead:
+			err = nc.send(opRead, op.Addr.Off, uint32(len(op.Buf)), nil)
+		case rdma.OpWrite:
+			err = nc.send(opWrite, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
+		case rdma.OpCAS:
+			var p [16]byte
+			binary.LittleEndian.PutUint64(p[:8], op.Old)
+			binary.LittleEndian.PutUint64(p[8:], op.New)
+			err = nc.send(opCAS, op.Addr.Off, 16, p[:])
+		case rdma.OpFAA:
+			var p [8]byte
+			binary.LittleEndian.PutUint64(p[:], op.New)
+			err = nc.send(opFAA, op.Addr.Off, 8, p[:])
+		}
+		if err != nil {
+			op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+			delete(v.conns, op.Addr.Node)
+			continue
+		}
+		sent[i] = true
+	}
+	for _, nc := range v.conns {
+		nc.bw.Flush() //nolint:errcheck // surfaced at recv
+	}
+	// Receive phase, in send order per connection.
+	var firstErr error
+	for i := range ops {
+		op := &ops[i]
+		if !sent[i] {
+			if op.Err != nil && firstErr == nil {
+				firstErr = op.Err
+			}
+			continue
+		}
+		nc := v.conns[op.Addr.Node]
+		if nc == nil {
+			op.Err = rdma.ErrNodeFailed
+		} else {
+			st, result, payload, err := nc.recv()
+			switch {
+			case err != nil:
+				op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+				delete(v.conns, op.Addr.Node)
+			case statusErr(st) != nil:
+				op.Err = statusErr(st)
+			default:
+				op.Result = result
+				if op.Kind == rdma.OpRead {
+					copy(op.Buf, payload)
+				}
+			}
+		}
+		if op.Err != nil && firstErr == nil {
+			firstErr = op.Err
+		}
+	}
+	return firstErr
+}
+
+// Post implements rdma.Verbs; over TCP an unsignaled post degenerates
+// to a synchronous batch (the transport has no completion queues to
+// skip).
+func (v *verbs) Post(ops []rdma.Op) error { return v.Batch(ops) }
+
+// RPC sends a two-sided request to the daemon on node.
+func (v *verbs) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) {
+	nc, err := v.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte{method}, req...)
+	if err := nc.send(opRPC, 0, uint32(len(payload)), payload); err == nil {
+		err = nc.bw.Flush()
+	} else {
+		delete(v.conns, node)
+		return nil, fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+	}
+	st, _, resp, err := nc.recv()
+	if err != nil {
+		delete(v.conns, node)
+		return nil, fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+	}
+	if err := statusErr(st); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ctx is the wall-clock process context.
+type ctx struct {
+	pl   *Platform
+	node rdma.NodeID
+	*verbs
+}
+
+func (c *ctx) Node() rdma.NodeID                { return c.node }
+func (c *ctx) Now() time.Duration               { return time.Since(c.pl.start) }
+func (c *ctx) Sleep(d time.Duration)            { time.Sleep(d) }
+func (c *ctx) UseCPU(core int, d time.Duration) {}
+func (c *ctx) LocalMem() []byte {
+	if c.node == c.pl.local && c.pl.isMem {
+		return c.pl.mem
+	}
+	return nil
+}

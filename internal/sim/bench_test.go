@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw engine event dispatch (the
+// cost floor under every simulated benchmark).
+func BenchmarkEventThroughput(b *testing.B) {
+	e := New()
+	done := 0
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+		done = b.N
+	})
+	b.ResetTimer()
+	e.RunUntilIdle()
+	if done != b.N {
+		b.Fatal("ticker did not finish")
+	}
+}
+
+// BenchmarkResourceAcquire measures contended resource scheduling.
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := New()
+	r := NewResource(e, "nic", 1)
+	const procs = 8
+	per := b.N/procs + 1
+	for w := 0; w < procs; w++ {
+		e.Go("w", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Acquire(p, 10*time.Nanosecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.RunUntilIdle()
+}

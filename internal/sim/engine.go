@@ -1,0 +1,236 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine used to model the disaggregated-memory fabric (NICs, links,
+// memory-node CPU cores) that the paper's testbed provides in hardware.
+//
+// The engine runs simulated processes as goroutines but guarantees that
+// at most one process executes at a time and that processes are resumed
+// in strict virtual-time order (ties broken by schedule sequence), so
+// every run with the same inputs produces the same results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// killed is the sentinel panic value used to unwind a process when the
+// engine shuts down while the process is still blocked.
+type killedPanic struct{}
+
+// Engine is a discrete-event simulation engine. Create one with New,
+// start processes with Go, and advance virtual time with Run or Step.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	stopped bool
+	// yield is signalled by the running process when it blocks or exits.
+	yield chan struct{}
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Proc is a simulated process. All blocking operations (Sleep, resource
+// acquisition, parking) must be invoked from the process's own goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	// parked reports whether the process is blocked without a scheduled
+	// wakeup (waiting on an Unpark from another process).
+	parked bool
+}
+
+// Name returns the process's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Go starts fn as a new simulated process scheduled to begin at the
+// current virtual time. fn runs on its own goroutine but only while the
+// engine has handed it the single execution token.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt starts fn as a new simulated process scheduled to begin at
+// virtual time at (which must not be in the past).
+func (e *Engine) GoAt(at time.Duration, name string, fn func(p *Proc)) *Proc {
+	if at < e.now {
+		at = e.now
+	}
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first scheduling
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); !ok {
+					panic(r)
+				}
+			}
+			p.done = true
+			delete(e.procs, p)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, at)
+	return p
+}
+
+// schedule enqueues a wakeup for p at time at.
+func (e *Engine) schedule(p *Proc, at time.Duration) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// block yields from the running process back to the engine loop and
+// waits to be resumed. It must be called from the process goroutine.
+func (p *Proc) block() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.eng.stopped {
+		panic(killedPanic{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero time (the process still yields, letting same-time events
+// scheduled earlier run first).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.block()
+}
+
+// SleepUntil suspends the process until virtual time t (or now if t is
+// in the past).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.eng.schedule(p, t)
+	p.block()
+}
+
+// Yield lets every other runnable process scheduled at the current
+// virtual time run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park blocks the process with no scheduled wakeup until another
+// process calls Unpark on it.
+func (p *Proc) Park() {
+	p.parked = true
+	p.block()
+}
+
+// Unpark schedules parked process q to resume at the current virtual
+// time. Calling Unpark on a process that is not parked is a bug.
+func (p *Proc) Unpark(q *Proc) {
+	if !q.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", q.name))
+	}
+	q.parked = false
+	p.eng.schedule(q, p.eng.now)
+}
+
+// step dispatches the earliest pending event. It reports false when the
+// event queue is empty.
+func (e *Engine) step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.proc.done {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event scheduled in the past")
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		<-e.yield
+		return true
+	}
+	return false
+}
+
+// Run advances virtual time until no events remain or the next event
+// lies beyond the limit; in the latter case the clock is set to limit.
+// Processes still blocked when Run returns stay blocked and can be
+// resumed by a later Run; call Shutdown to unwind them.
+func (e *Engine) Run(limit time.Duration) {
+	for e.events.Len() > 0 && e.events[0].at <= limit {
+		e.step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// RunUntilIdle advances virtual time until no events remain. Processes
+// parked forever (daemons waiting on work) do not keep the engine busy.
+func (e *Engine) RunUntilIdle() {
+	for e.step() {
+	}
+}
+
+// Shutdown unwinds every remaining process (blocked or scheduled) by
+// resuming it with the stop flag set, which makes its pending blocking
+// call panic with an internal sentinel that the process wrapper
+// recovers. After Shutdown the engine must not be used again.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for len(e.procs) > 0 {
+		var victim *Proc
+		for p := range e.procs {
+			victim = p
+			break
+		}
+		victim.resume <- struct{}{}
+		<-e.yield
+	}
+	e.events = nil
+}

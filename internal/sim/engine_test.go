@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := New()
+	var woke time.Duration
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	e.RunUntilIdle()
+	if woke != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("engine now %v, want 5ms", e.Now())
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	run := func() []int {
+		e := New()
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Go("p", func(p *Proc) {
+				p.Sleep(time.Duration(10-i) * time.Microsecond)
+				order = append(order, i)
+				p.Sleep(time.Microsecond)
+				order = append(order, 100+i)
+			})
+		}
+		e.RunUntilIdle()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths %d %d, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Earliest wakeup (largest i sleeps least) runs first.
+	if a[0] != 9 {
+		t.Fatalf("first event %d, want 9", a[0])
+	}
+}
+
+func TestSameTimeTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestRunLimitStopsEarly(t *testing.T) {
+	e := New()
+	ticks := 0
+	e.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	e.Run(4500 * time.Millisecond)
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4", ticks)
+	}
+	if e.Now() != 4500*time.Millisecond {
+		t.Fatalf("now = %v, want 4.5s", e.Now())
+	}
+	e.Shutdown()
+}
+
+func TestShutdownUnwindsBlockedProcs(t *testing.T) {
+	e := New()
+	cleanedUp := false
+	e.Go("daemon", func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				cleanedUp = true
+				panic(r) // re-panic so the engine wrapper sees the kill
+			}
+		}()
+		p.Park() // never unparked
+	})
+	e.Run(time.Second)
+	e.Shutdown()
+	if !cleanedUp {
+		t.Fatal("parked process was not unwound at shutdown")
+	}
+}
+
+func TestResourceSerializesService(t *testing.T) {
+	e := New()
+	r := NewResource(e, "nic", 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("c", func(p *Proc) {
+			r.Acquire(p, 10*time.Microsecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunUntilIdle()
+	want := []time.Duration{10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	e := New()
+	r := NewResource(e, "cpu", 2)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("c", func(p *Proc) {
+			r.Acquire(p, 10*time.Microsecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunUntilIdle()
+	// Two servers: pairs complete at 10us and 20us.
+	want := []time.Duration{10 * time.Microsecond, 10 * time.Microsecond, 20 * time.Microsecond, 20 * time.Microsecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New()
+	r := NewResource(e, "nic", 1)
+	e.Go("c", func(p *Proc) {
+		r.Acquire(p, 250*time.Millisecond)
+	})
+	e.Go("idle", func(p *Proc) {
+		p.Sleep(time.Second)
+	})
+	e.RunUntilIdle()
+	if got := r.Utilization(); got < 0.24 || got > 0.26 {
+		t.Fatalf("utilization = %v, want ~0.25", got)
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	e := New()
+	var m Mutex
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("locker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond) // stagger arrivals
+			m.Lock(p)
+			order = append(order, i)
+			p.Sleep(10 * time.Microsecond)
+			m.Unlock(p)
+		})
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("lock order %v, want FIFO", order)
+		}
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("critical sections did not serialize: now=%v", e.Now())
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := New()
+	var wg WaitGroup
+	wg.Add(3)
+	done := time.Duration(-1)
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done(p)
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		done = p.Now()
+	})
+	e.RunUntilIdle()
+	if done != 3*time.Millisecond {
+		t.Fatalf("waiter released at %v, want 3ms", done)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := New()
+	var consumer *Proc
+	delivered := ""
+	mailbox := ""
+	e.Go("consumer", func(p *Proc) {
+		consumer = p
+		p.Park()
+		delivered = mailbox
+	})
+	e.Go("producer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		mailbox = "hello"
+		p.Unpark(consumer)
+	})
+	e.RunUntilIdle()
+	if delivered != "hello" {
+		t.Fatalf("delivered %q", delivered)
+	}
+}
+
+func TestReserveDelaysLaterArrivals(t *testing.T) {
+	e := New()
+	r := NewResource(e, "nic", 1)
+	var finish time.Duration
+	e.Go("bg", func(p *Proc) {
+		r.Reserve(p.Now(), 100*time.Microsecond) // async transfer
+	})
+	e.Go("fg", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		r.Acquire(p, 10*time.Microsecond)
+		finish = p.Now()
+	})
+	e.RunUntilIdle()
+	if finish != 110*time.Microsecond {
+		t.Fatalf("foreground finished at %v, want 110us", finish)
+	}
+}

@@ -1,0 +1,195 @@
+// Package stats provides the measurement plumbing the evaluation
+// harness uses: log-bucketed latency histograms with percentile
+// queries (P50/P99 in Figure 9) and throughput accounting over
+// simulated time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram: buckets grow
+// geometrically (~4% width), giving <5% percentile error over
+// nanoseconds to minutes with a few hundred buckets.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBase    = 1.04
+	histBuckets = 720 // covers ~1ns .. >10min
+)
+
+var histLogBase = math.Log(histBase)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+func bucketOf(d time.Duration) int {
+	if d < 1 {
+		return 0
+	}
+	b := int(math.Log(float64(d)) / histLogBase)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Percentile returns the latency at quantile q in [0, 1].
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			// Upper edge of the bucket.
+			return time.Duration(math.Pow(histBase, float64(b+1)))
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.max)
+}
+
+// Throughput converts an operation count over a window to million
+// operations per second.
+func Throughput(ops uint64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(ops) / window.Seconds() / 1e6
+}
+
+// Series is a labelled sequence of (x, y) points, the unit the bench
+// harness emits per figure line.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Table formats one or more series sharing labels as an aligned text
+// table (the harness's paper-style output).
+func Table(title string, series ...*Series) string {
+	if len(series) == 0 {
+		return title + "\n"
+	}
+	out := title + "\n"
+	width := 14
+	head := fmt.Sprintf("%-20s", "")
+	for _, lbl := range series[0].Labels {
+		head += fmt.Sprintf("%*s", width, lbl)
+	}
+	out += head + "\n"
+	for _, s := range series {
+		row := fmt.Sprintf("%-20s", s.Name)
+		for i := range s.Labels {
+			v := math.NaN()
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			row += fmt.Sprintf("%*s", width, formatCell(v))
+		}
+		out += row + "\n"
+	}
+	return out
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Ratio returns a/b (0 when b is 0), for normalised-coefficient rows.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// SortedKeys returns map keys in sorted order (deterministic report
+// iteration).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

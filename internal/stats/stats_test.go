@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 microseconds uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(0.50)
+	if p50 < 450*time.Microsecond || p50 > 560*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500us", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 940*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~990us", p99)
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Fatalf("mean = %v, want ~500us", mean)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(rng.Intn(10_000_000)) + 1)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := float64(h.Percentile(q))
+		want := q * 10_000_000
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("q=%v: got %v, want ~%v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(2 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p := a.Percentile(0.75); p < 1900*time.Microsecond || p > 2200*time.Microsecond {
+		t.Fatalf("merged p75 = %v", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(2_000_000, time.Second); got != 2.0 {
+		t.Fatalf("throughput = %v, want 2 Mops", got)
+	}
+	if Throughput(1, 0) != 0 {
+		t.Fatal("zero window must be 0")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := &Series{Name: "aceso"}
+	s1.Add("INSERT", 1.5)
+	s1.Add("SEARCH", 3.25)
+	s2 := &Series{Name: "fusee"}
+	s2.Add("INSERT", 0.8)
+	s2.Add("SEARCH", 2.9)
+	out := Table("Figure 8", s1, s2)
+	for _, want := range []string{"Figure 8", "INSERT", "SEARCH", "aceso", "fusee", "1.500", "0.800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != 1.5 || Ratio(1, 0) != 0 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("sorted keys = %v", got)
+	}
+}

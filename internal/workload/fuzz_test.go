@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace feeds arbitrary text to the trace parser: it must
+// never panic, only return records or errors.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("1,key,3,100,7,get,0\n")
+	f.Add("# comment\n\n2,k,1,0,0,set,0")
+	f.Add("x,,,,,")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		ops, err := ParseTrace(strings.NewReader(in))
+		if err == nil {
+			for _, op := range ops {
+				if len(op.Key) == 0 {
+					t.Fatal("parsed record with empty key")
+				}
+			}
+		}
+	})
+}

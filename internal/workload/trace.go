@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Trace support: the paper replays Twitter's production cache traces
+// (Yang et al.). The open release distributes CSV records of the form
+//
+//	timestamp,anonymized key,key size,value size,client id,operation,TTL
+//
+// with operations get/gets/set/add/replace/cas/append/prepend/delete/
+// incr/decr. We cannot redistribute the traces, but this package can
+// (a) replay any file in that format and (b) synthesize format-
+// compatible traces from the cluster mixes, so the replay path is
+// exercised end to end (see DESIGN.md's substitution table).
+
+// TraceOp is one parsed trace record.
+type TraceOp struct {
+	Timestamp uint64
+	Key       []byte
+	ValueSize int
+	Kind      Kind
+}
+
+// ErrTraceFormat reports a malformed trace line.
+type ErrTraceFormat struct {
+	Line int
+	Msg  string
+}
+
+func (e *ErrTraceFormat) Error() string {
+	return fmt.Sprintf("workload: trace line %d: %s", e.Line, e.Msg)
+}
+
+// opOfTraceVerb maps a trace operation name onto the KV store's
+// request types: all read flavours become SEARCH, write flavours
+// UPDATE (the store upserts), "add" INSERT and "delete" DELETE.
+// Unknown verbs are skipped.
+func opOfTraceVerb(verb string) (Kind, bool) {
+	switch verb {
+	case "get", "gets":
+		return OpSearch, true
+	case "set", "replace", "cas", "append", "prepend", "incr", "decr":
+		return OpUpdate, true
+	case "add":
+		return OpInsert, true
+	case "delete":
+		return OpDelete, true
+	}
+	return 0, false
+}
+
+// ParseTrace reads a Twitter-format CSV trace. Malformed lines yield
+// an *ErrTraceFormat; unknown operations are skipped silently (the
+// real traces contain client-specific verbs).
+func ParseTrace(r io.Reader) ([]TraceOp, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []TraceOp
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 6 {
+			return nil, &ErrTraceFormat{Line: line, Msg: fmt.Sprintf("%d fields, want >= 6", len(fields))}
+		}
+		ts, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, &ErrTraceFormat{Line: line, Msg: "bad timestamp"}
+		}
+		vs, err := strconv.Atoi(fields[3])
+		if err != nil || vs < 0 {
+			return nil, &ErrTraceFormat{Line: line, Msg: "bad value size"}
+		}
+		kind, ok := opOfTraceVerb(fields[5])
+		if !ok {
+			continue
+		}
+		if len(fields[1]) == 0 {
+			return nil, &ErrTraceFormat{Line: line, Msg: "empty key"}
+		}
+		out = append(out, TraceOp{
+			Timestamp: ts,
+			Key:       []byte(fields[1]),
+			ValueSize: vs,
+			Kind:      kind,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSyntheticTrace emits count format-compatible records drawn from
+// a Mix over n keys (the substitution for the unredistributable
+// production traces). Value sizes are drawn log-uniformly from
+// [64, maxVal].
+func WriteSyntheticTrace(w io.Writer, mix Mix, n uint64, count int, maxVal int, seed int64) error {
+	bw := bufio.NewWriter(w)
+	gen := NewMixGen(mix, n, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	if _, err := fmt.Fprintf(bw, "# synthetic %s trace (%d ops over %d keys)\n", mix.Name, count, n); err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		op := gen.Next()
+		verb := "get"
+		switch op.Kind {
+		case OpUpdate:
+			verb = "set"
+		case OpInsert:
+			verb = "add"
+		case OpDelete:
+			verb = "delete"
+		}
+		vs := 0
+		if op.Kind == OpUpdate || op.Kind == OpInsert {
+			lo, hi := 6.0, float64(bitsLen(maxVal)) // log2 range
+			vs = 1 << int(lo+rng.Float64()*(hi-lo))
+			if vs > maxVal {
+				vs = maxVal
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%s,0\n",
+			uint64(i), op.Key, len(op.Key), vs, seed, verb); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TraceGen replays parsed trace records as a Generator, cycling when
+// exhausted. Ops with zero value size reuse the store-level default
+// (the Generator interface carries keys only; value sizing is the
+// harness's concern).
+type TraceGen struct {
+	ops  []TraceOp
+	next int
+}
+
+// NewTraceGen wraps parsed trace records.
+func NewTraceGen(ops []TraceOp) *TraceGen { return &TraceGen{ops: ops} }
+
+// Len returns the record count.
+func (g *TraceGen) Len() int { return len(g.ops) }
+
+// Next implements Generator.
+func (g *TraceGen) Next() Op {
+	op := g.ops[g.next%len(g.ops)]
+	g.next++
+	return Op{Kind: op.Kind, Key: op.Key}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := strings.Join([]string{
+		"# comment",
+		"1,keyA,4,0,7,get,0",
+		"2,keyB,4,512,7,set,30",
+		"3,keyC,4,128,7,add,0",
+		"4,keyA,4,0,7,delete,0",
+		"5,keyD,4,64,7,cas,0",
+		"6,keyE,4,0,7,weirdverb,0", // skipped
+		"",
+	}, "\n")
+	ops, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		key  string
+		kind Kind
+		vs   int
+	}{
+		{"keyA", OpSearch, 0},
+		{"keyB", OpUpdate, 512},
+		{"keyC", OpInsert, 128},
+		{"keyA", OpDelete, 0},
+		{"keyD", OpUpdate, 64},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ops), len(want))
+	}
+	for i, w := range want {
+		if string(ops[i].Key) != w.key || ops[i].Kind != w.kind || ops[i].ValueSize != w.vs {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], w)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"1,k,1,0,7",         // too few fields
+		"x,k,1,0,7,get,0",   // bad timestamp
+		"1,k,1,abc,7,get,0", // bad value size
+		"1,,0,0,7,get,0",    // empty key
+	}
+	for i, c := range cases {
+		_, err := ParseTrace(strings.NewReader(c))
+		var te *ErrTraceFormat
+		if !errors.As(err, &te) {
+			t.Errorf("case %d: err = %v, want *ErrTraceFormat", i, err)
+		}
+	}
+}
+
+func TestSyntheticTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSyntheticTrace(&buf, TwitterCompute, 500, 3000, 4096, 11); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3000 {
+		t.Fatalf("round-tripped %d ops, want 3000", len(ops))
+	}
+	counts := map[Kind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+		if op.Kind == OpUpdate && (op.ValueSize < 64 || op.ValueSize > 4096) {
+			t.Fatalf("value size %d out of range", op.ValueSize)
+		}
+	}
+	// COMPUTE is write-heavy: ~65% updates.
+	frac := float64(counts[OpUpdate]) / 3000
+	if frac < 0.55 || frac > 0.75 {
+		t.Fatalf("update frac %.2f, want ~0.65", frac)
+	}
+}
+
+func TestTraceGenCycles(t *testing.T) {
+	ops := []TraceOp{
+		{Key: []byte("a"), Kind: OpSearch},
+		{Key: []byte("b"), Kind: OpUpdate},
+	}
+	g := NewTraceGen(ops)
+	if g.Len() != 2 {
+		t.Fatal("len wrong")
+	}
+	seq := []string{"a", "b", "a", "b", "a"}
+	for i, want := range seq {
+		if got := g.Next(); string(got.Key) != want {
+			t.Fatalf("op %d key %s, want %s", i, got.Key, want)
+		}
+	}
+}
+
+func TestSyntheticTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteSyntheticTrace(&a, TwitterStorage, 100, 500, 1024, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSyntheticTrace(&b, TwitterStorage, 100, 500, 1024, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different traces")
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload generates the benchmark workloads of §4.1: YCSB
+// core workloads A-D with Zipfian key popularity (θ=0.99), synthetic
+// equivalents of the three Twitter cache-trace clusters, and the
+// microbenchmarks (unique keys per client, one operation type).
+//
+// All generators are deterministic under a seed so simulated runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind is an operation type.
+type Kind uint8
+
+// Operation kinds.
+const (
+	OpInsert Kind = iota
+	OpUpdate
+	OpSearch
+	OpDelete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpSearch:
+		return "SEARCH"
+	case OpDelete:
+		return "DELETE"
+	}
+	return "?"
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind Kind
+	Key  []byte
+}
+
+// Generator produces a deterministic stream of operations.
+type Generator interface {
+	// Next returns the next operation.
+	Next() Op
+}
+
+// --- Zipfian key popularity (the YCSB algorithm) ---
+
+// Zipfian draws integers in [0, n) with the Zipfian distribution used
+// by YCSB (Gray et al.'s algorithm), scrambled so popular keys spread
+// over the key space.
+type Zipfian struct {
+	rng      *rand.Rand
+	n        uint64
+	theta    float64
+	zetan    float64
+	zeta2    float64
+	alpha    float64
+	eta      float64
+	scramble bool
+}
+
+// NewZipfian creates a Zipfian generator over [0, n) with parameter
+// theta (the paper uses YCSB's default 0.99).
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) *Zipfian {
+	z := &Zipfian{rng: rng, n: n, theta: theta, scramble: true}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key index.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var v uint64
+	switch {
+	case uz < 1.0:
+		v = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		v = 1
+	default:
+		v = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if z.scramble {
+		v = fnvMix(v) % z.n
+	}
+	return v
+}
+
+func fnvMix(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// KeyName renders key index i as the canonical workload key.
+func KeyName(i uint64) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+
+// --- Mix-based generators (YCSB and Twitter) ---
+
+// Mix describes an operation mix over a keyspace.
+type Mix struct {
+	// Name labels the workload ("YCSB-A", "TWITTER-COMPUTE", ...).
+	Name string
+	// SearchFrac, UpdateFrac, InsertFrac and DeleteFrac must sum to 1.
+	SearchFrac, UpdateFrac, InsertFrac, DeleteFrac float64
+	// Zipfian key skew parameter; 0 means uniform.
+	Theta float64
+}
+
+// YCSB core workloads (§4.1): A (50% SEARCH, 50% UPDATE), B (95/5),
+// C (100% SEARCH), D (95% SEARCH, 5% INSERT), Zipfian θ=0.99.
+var (
+	YCSBA = Mix{Name: "YCSB-A", SearchFrac: 0.50, UpdateFrac: 0.50, Theta: 0.99}
+	YCSBB = Mix{Name: "YCSB-B", SearchFrac: 0.95, UpdateFrac: 0.05, Theta: 0.99}
+	YCSBC = Mix{Name: "YCSB-C", SearchFrac: 1.00, Theta: 0.99}
+	YCSBD = Mix{Name: "YCSB-D", SearchFrac: 0.95, InsertFrac: 0.05, Theta: 0.99}
+)
+
+// Twitter cluster mixes (§4.3). The trace study (Yang et al., "A
+// Large-scale Analysis of Hundreds of In-memory Key-value Cache
+// Clusters at Twitter") reports the storage cluster as strongly
+// read-dominated, the compute cluster as write-heavy (computation
+// results are frequently overwritten), and the transient cluster as
+// short-lived data with frequent insertions and deletions; these mixes
+// synthesize those characteristics.
+var (
+	TwitterStorage   = Mix{Name: "TWITTER-STORAGE", SearchFrac: 0.90, UpdateFrac: 0.10, Theta: 0.99}
+	TwitterCompute   = Mix{Name: "TWITTER-COMPUTE", SearchFrac: 0.35, UpdateFrac: 0.65, Theta: 0.99}
+	TwitterTransient = Mix{Name: "TWITTER-TRANSIENT", SearchFrac: 0.30, UpdateFrac: 0.30, InsertFrac: 0.20, DeleteFrac: 0.20, Theta: 0.99}
+)
+
+// UpdateRatio returns a SEARCH/UPDATE mix with the given update
+// fraction (the sensitivity sweep of Figure 15).
+func UpdateRatio(frac float64) Mix {
+	return Mix{
+		Name:       fmt.Sprintf("UPDATE-%d%%", int(frac*100+0.5)),
+		SearchFrac: 1 - frac, UpdateFrac: frac, Theta: 0.99,
+	}
+}
+
+// MixGen generates operations from a Mix over n preloaded keys.
+type MixGen struct {
+	mix        Mix
+	rng        *rand.Rand
+	zipf       *Zipfian
+	n          uint64
+	insertBase uint64
+	inserts    uint64   // keys appended by OpInsert
+	fresh      []uint64 // inserted keys not yet deleted
+	deleted    map[uint64]bool
+}
+
+// NewMixGen creates a generator over n preloaded keys. The seed also
+// selects a disjoint per-generator range for inserted keys, so
+// concurrent clients insert distinct records (as YCSB's insert-order
+// key chooser does).
+func NewMixGen(mix Mix, n uint64, seed int64) *MixGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &MixGen{mix: mix, rng: rng, n: n, deleted: make(map[uint64]bool),
+		insertBase: n + 1 + uint64(seed&0xFFFF)<<24}
+	if mix.Theta > 0 {
+		g.zipf = NewZipfian(rng, n, mix.Theta)
+	}
+	return g
+}
+
+func (g *MixGen) pick() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Next()
+	}
+	return uint64(g.rng.Int63n(int64(g.n)))
+}
+
+// Next implements Generator.
+func (g *MixGen) Next() Op {
+	r := g.rng.Float64()
+	m := &g.mix
+	switch {
+	case r < m.SearchFrac:
+		return Op{Kind: OpSearch, Key: KeyName(g.pick())}
+	case r < m.SearchFrac+m.UpdateFrac:
+		return Op{Kind: OpUpdate, Key: KeyName(g.pick())}
+	case r < m.SearchFrac+m.UpdateFrac+m.InsertFrac:
+		g.inserts++
+		k := g.insertBase + g.inserts
+		g.fresh = append(g.fresh, k)
+		return Op{Kind: OpInsert, Key: KeyName(k)}
+	default:
+		// Transient-style deletes target recently inserted keys first
+		// (short-lived data), falling back to live preloaded keys.
+		if len(g.fresh) > 0 {
+			k := g.fresh[0]
+			g.fresh = g.fresh[1:]
+			return Op{Kind: OpDelete, Key: KeyName(k)}
+		}
+		for try := 0; try < 64; try++ {
+			k := g.pick()
+			if !g.deleted[k] {
+				g.deleted[k] = true
+				return Op{Kind: OpDelete, Key: KeyName(k)}
+			}
+		}
+		return Op{Kind: OpSearch, Key: KeyName(g.pick())}
+	}
+}
+
+// --- Microbenchmarks ---
+
+// Micro generates the microbenchmark stream of §4.2: every client
+// works on its own unique keys (no concurrent conflicts), issuing a
+// single operation type.
+type Micro struct {
+	kind   Kind
+	client int
+	next   uint64
+	count  uint64
+}
+
+// NewMicro creates a microbenchmark generator for one client. For
+// UPDATE/SEARCH/DELETE the keys cycle over the client's preloaded
+// range of count keys; for INSERT they keep growing.
+func NewMicro(kind Kind, client int, count uint64) *Micro {
+	return &Micro{kind: kind, client: client, count: count}
+}
+
+// MicroKey names the i-th key of a client's private range.
+func MicroKey(client int, i uint64) []byte {
+	return []byte(fmt.Sprintf("cli%04d-key%010d", client, i))
+}
+
+// Next implements Generator.
+func (m *Micro) Next() Op {
+	i := m.next
+	m.next++
+	if m.kind != OpInsert && m.count > 0 {
+		i %= m.count
+	}
+	return Op{Kind: m.kind, Key: MicroKey(m.client, i)}
+}
+
+// Value builds a deterministic value of the given size for a key.
+func Value(key []byte, size int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = key[i%len(key)] ^ byte(i)
+	}
+	return v
+}

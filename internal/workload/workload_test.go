@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(rand.New(rand.NewSource(1)), n, 0.99)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Zipf(0.99) over 1000 keys: the hottest key should take several
+	// percent of draws; a uniform draw would take 0.1%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	frac := float64(max) / draws
+	if frac < 0.02 {
+		t.Fatalf("hottest key got %.4f of draws; zipfian skew missing", frac)
+	}
+	if len(counts) < n/3 {
+		t.Fatalf("only %d distinct keys drawn; tail missing", len(counts))
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(rand.New(rand.NewSource(7)), 100, 0.99)
+	b := NewZipfian(rand.New(rand.NewSource(7)), 100, 0.99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	for _, mix := range []Mix{YCSBA, YCSBB, YCSBC, YCSBD, TwitterStorage, TwitterCompute, TwitterTransient} {
+		sum := mix.SearchFrac + mix.UpdateFrac + mix.InsertFrac + mix.DeleteFrac
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s fractions sum to %f", mix.Name, sum)
+		}
+		g := NewMixGen(mix, 1000, 3)
+		counts := map[Kind]int{}
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			counts[g.Next().Kind]++
+		}
+		check := func(kind Kind, want float64) {
+			got := float64(counts[kind]) / draws
+			if want == 0 && got > 0.02 {
+				t.Errorf("%s: %v frac %.3f, want 0", mix.Name, kind, got)
+			}
+			if want > 0 && (got < want*0.8-0.01 || got > want*1.2+0.01) {
+				t.Errorf("%s: %v frac %.3f, want ~%.2f", mix.Name, kind, got, want)
+			}
+		}
+		check(OpSearch, mix.SearchFrac)
+		check(OpUpdate, mix.UpdateFrac)
+		check(OpInsert, mix.InsertFrac)
+	}
+}
+
+func TestMixInsertsUseFreshKeys(t *testing.T) {
+	g := NewMixGen(YCSBD, 100, 5)
+	seen := map[string]bool{}
+	for i := uint64(0); i < 100; i++ {
+		seen[string(KeyName(i))] = true
+	}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert && seen[string(op.Key)] {
+			t.Fatalf("insert reused preloaded key %s", op.Key)
+		}
+	}
+}
+
+func TestUpdateRatio(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		g := NewMixGen(UpdateRatio(frac), 500, 11)
+		upd := 0
+		const draws = 10000
+		for i := 0; i < draws; i++ {
+			if g.Next().Kind == OpUpdate {
+				upd++
+			}
+		}
+		got := float64(upd) / draws
+		if got < frac-0.02 || got > frac+0.02 {
+			t.Errorf("ratio %.2f: measured %.3f", frac, got)
+		}
+	}
+}
+
+func TestMicroUniquePerClient(t *testing.T) {
+	g1 := NewMicro(OpInsert, 1, 0)
+	g2 := NewMicro(OpInsert, 2, 0)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k1, k2 := g1.Next().Key, g2.Next().Key
+		if seen[string(k1)] || seen[string(k2)] || string(k1) == string(k2) {
+			t.Fatal("microbenchmark keys collide across clients")
+		}
+		seen[string(k1)] = true
+		seen[string(k2)] = true
+	}
+}
+
+func TestMicroCyclesPreloadedRange(t *testing.T) {
+	g := NewMicro(OpUpdate, 0, 10)
+	for i := 0; i < 25; i++ {
+		want := MicroKey(0, uint64(i%10))
+		if got := g.Next().Key; string(got) != string(want) {
+			t.Fatalf("op %d key %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	a := Value([]byte("k1"), 128)
+	b := Value([]byte("k1"), 128)
+	c := Value([]byte("k2"), 128)
+	if string(a) != string(b) {
+		t.Fatal("value not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("values for different keys identical")
+	}
+	if len(a) != 128 {
+		t.Fatal("wrong size")
+	}
+}
