@@ -5,10 +5,12 @@
 // protects the KV pairs, and a tiered scheme recovers a crashed memory
 // node's functionality in index-recovery time.
 //
-// The package is a facade over internal/core. A cluster runs either on
-// the deterministic simulated RDMA fabric (NewSimCluster — used by all
-// benchmarks; virtual time, calibrated NIC cost model) or on real TCP
-// transport via cmd/acesod and the tcpnet fabric.
+// The package is a facade over internal/core. A cluster runs on one of
+// two fabrics behind the same API: the deterministic simulated RDMA
+// fabric (NewSimCluster — used by all benchmarks; virtual time,
+// calibrated NIC cost model) or the real TCP transport (NewTCPCluster —
+// every memory node serves its own loopback listener, wall clock; the
+// same fabric cmd/acesod deploys across processes).
 //
 // Quickstart:
 //
@@ -22,11 +24,13 @@
 package aceso
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rdma"
 	"repro/internal/rdma/simnet"
+	"repro/internal/rdma/tcpnet"
 )
 
 // Config parameterises a coding group; see the field docs in
@@ -46,6 +50,10 @@ type RecoveryReport = core.RecoveryReport
 // MemoryUsage is the Block Area space accounting (Figure 12).
 type MemoryUsage = core.MemoryUsage
 
+// ChaosConfig parameterises probabilistic fault injection on a memory
+// node (drops, delays, connection resets; seedable).
+type ChaosConfig = rdma.ChaosConfig
+
 // Errors re-exported from the client.
 var (
 	ErrNotFound = core.ErrNotFound
@@ -55,15 +63,69 @@ var (
 // DefaultConfig returns the paper-default configuration, scaled down.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// Cluster is one Aceso coding group plus its master, running on a
-// simulated fabric inside this process.
+// fabric abstracts what the facade needs from a platform beyond
+// rdma.Platform: compute-node allocation, a clock, and a way to drive
+// time until a condition holds (virtual stepping on simnet, polling on
+// wall-clock fabrics).
+type fabric interface {
+	platform() rdma.Platform
+	addComputeNode() rdma.NodeID
+	advance(d time.Duration)
+	runUntil(cond func() bool) bool
+	now() time.Duration
+	close()
+}
+
+// simFabric drives the deterministic discrete-event engine.
+type simFabric struct{ pl *simnet.Platform }
+
+func (f *simFabric) platform() rdma.Platform      { return f.pl }
+func (f *simFabric) addComputeNode() rdma.NodeID  { return f.pl.AddComputeNode() }
+func (f *simFabric) advance(d time.Duration)      { f.pl.Run(f.pl.Engine().Now() + d) }
+func (f *simFabric) now() time.Duration           { return f.pl.Engine().Now() }
+func (f *simFabric) close()                       { f.pl.Shutdown() }
+func (f *simFabric) runUntil(cond func() bool) bool {
+	eng := f.pl.Engine()
+	limit := eng.Now() + time.Hour // virtual-time safety limit
+	for !cond() && eng.Now() < limit {
+		eng.Run(eng.Now() + time.Millisecond)
+	}
+	return cond()
+}
+
+// tcpFabric runs on the wall clock; time advances by itself, so
+// driving it means sleeping and polling.
+type tcpFabric struct {
+	pl    *tcpnet.Platform
+	start time.Time
+}
+
+func (f *tcpFabric) platform() rdma.Platform     { return f.pl }
+func (f *tcpFabric) addComputeNode() rdma.NodeID { return f.pl.AddComputeNode() }
+func (f *tcpFabric) advance(d time.Duration)     { time.Sleep(d) }
+func (f *tcpFabric) now() time.Duration          { return time.Since(f.start) }
+func (f *tcpFabric) close()                      { f.pl.Close() }
+func (f *tcpFabric) runUntil(cond func() bool) bool {
+	limit := time.Now().Add(60 * time.Second) // wall-clock safety limit
+	for !cond() {
+		if time.Now().After(limit) {
+			return cond()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+// Cluster is one Aceso coding group plus its master, running inside
+// this process on either fabric.
 type Cluster struct {
-	pl      *simnet.Platform
+	fab     fabric
 	cl      *core.Cluster
 	started bool
+
+	mu      sync.Mutex // guards pending/done (client bodies finish on goroutines)
 	pending int
-	// doneCh is incremented as RunClient bodies complete.
-	done int
+	done    int
 }
 
 // NewSimCluster creates a cluster of cfg.Layout.NumMNs memory nodes on
@@ -74,7 +136,27 @@ func NewSimCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{pl: pl, cl: cl}, nil
+	return &Cluster{fab: &simFabric{pl: pl}, cl: cl}, nil
+}
+
+// NewTCPCluster creates the same coding group on the real TCP fabric:
+// every memory node serves a loopback listener and all verbs cross
+// real sockets, so failure injection exercises genuine connection
+// teardown, reconnects and retry budgets. Time is the wall clock
+// (Advance sleeps; RunUntil polls).
+func NewTCPCluster(cfg Config) (*Cluster, error) {
+	pl := tcpnet.NewGroup()
+	pl.SetOptions(tcpnet.Options{
+		OpTimeout:   time.Second,
+		RetryBudget: 2 * time.Second,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	cl, err := core.NewCluster(cfg, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{fab: &tcpFabric{pl: pl, start: time.Now()}, cl: cl}, nil
 }
 
 // Start launches the memory-node servers and the master (membership,
@@ -93,55 +175,73 @@ func (c *Cluster) Start() {
 func (c *Cluster) AddSpare() { c.cl.Master().AddSpare() }
 
 // RunClient executes fn as a client process on its own compute node
-// and drives virtual time until fn returns. It is the synchronous
-// convenience wrapper; use SpawnClient to run several concurrently.
+// and drives time until fn returns. It is the synchronous convenience
+// wrapper; use SpawnClient to run several concurrently.
 func (c *Cluster) RunClient(name string, fn func(*Client)) {
+	var mu sync.Mutex
 	done := false
 	c.SpawnClient(name, func(cli *Client) {
 		fn(cli)
+		mu.Lock()
 		done = true
+		mu.Unlock()
 	})
-	c.RunUntil(func() bool { return done })
+	c.RunUntil(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return done
+	})
 }
 
 // SpawnClient starts fn as a client process without advancing time;
-// combine with RunUntil or Advance.
+// combine with RunUntil or Wait.
 func (c *Cluster) SpawnClient(name string, fn func(*Client)) {
-	cn := c.pl.AddComputeNode()
+	cn := c.fab.addComputeNode()
+	c.mu.Lock()
 	c.pending++
+	c.mu.Unlock()
 	c.cl.SpawnClient(cn, name, func(cli *Client) {
 		fn(cli)
+		c.mu.Lock()
 		c.done++
+		c.mu.Unlock()
 	})
 }
 
-// Advance moves virtual time forward by d.
-func (c *Cluster) Advance(d time.Duration) {
-	c.pl.Run(c.pl.Engine().Now() + d)
-}
+// Advance moves time forward by d (virtual on the simulated fabric, a
+// real sleep on TCP).
+func (c *Cluster) Advance(d time.Duration) { c.fab.advance(d) }
 
-// RunUntil advances virtual time until cond holds (or an hour of
-// virtual time passes). It reports whether cond held.
-func (c *Cluster) RunUntil(cond func() bool) bool {
-	eng := c.pl.Engine()
-	limit := eng.Now() + time.Hour
-	for !cond() && eng.Now() < limit {
-		eng.Run(eng.Now() + time.Millisecond)
-	}
-	return cond()
-}
+// RunUntil drives time until cond holds (or the fabric's safety limit
+// passes: an hour of virtual time, a minute of wall clock). It reports
+// whether cond held.
+func (c *Cluster) RunUntil(cond func() bool) bool { return c.fab.runUntil(cond) }
 
-// Wait advances virtual time until every spawned client has returned.
+// Wait drives time until every spawned client has returned.
 func (c *Cluster) Wait() bool {
-	return c.RunUntil(func() bool { return c.done >= c.pending })
+	return c.RunUntil(func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.done >= c.pending
+	})
 }
 
-// Now returns the current virtual time.
-func (c *Cluster) Now() time.Duration { return c.pl.Engine().Now() }
+// Now returns the current time (virtual or wall, by fabric).
+func (c *Cluster) Now() time.Duration { return c.fab.now() }
 
 // FailMN injects a fail-stop crash of logical memory node mn. The
-// master detects it and runs tiered recovery onto a spare.
+// master detects it and runs tiered recovery onto a spare. On the TCP
+// fabric this tears down the node's listener and live connections for
+// real.
 func (c *Cluster) FailMN(mn int) { c.cl.FailMN(mn) }
+
+// SetChaos installs (or, with a zero config, clears) probabilistic
+// drop/delay/reset injection on the node serving logical MN mn.
+func (c *Cluster) SetChaos(mn int, cfg ChaosConfig) {
+	if fi, ok := c.fab.platform().(rdma.FaultInjector); ok {
+		fi.SetChaos(c.cl.MNNode(mn), cfg)
+	}
+}
 
 // MNState reports a memory node's recovery progress: failed (down),
 // indexReady (tier 2 done: writes at full speed, reads degraded) and
@@ -152,7 +252,7 @@ func (c *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
 
 // RecoveryReports returns the reports of completed MN recoveries.
 func (c *Cluster) RecoveryReports() []*RecoveryReport {
-	return c.cl.Master().Reports
+	return c.cl.Master().ReportList()
 }
 
 // MemoryUsage scans the group's Block Areas (Figure 12 accounting).
@@ -165,10 +265,9 @@ func (c *Cluster) Reclaimed() int { return c.cl.Reclaimed() }
 // NumMNs returns the coding-group size.
 func (c *Cluster) NumMNs() int { return c.cl.Cfg.Layout.NumMNs }
 
-// Close unwinds the simulated fabric. The cluster must not be used
-// afterwards.
-func (c *Cluster) Close() { c.pl.Shutdown() }
+// Close unwinds the fabric. The cluster must not be used afterwards.
+func (c *Cluster) Close() { c.fab.close() }
 
 // Internal returns the underlying core cluster and platform for
 // advanced instrumentation (benchmark harnesses).
-func (c *Cluster) Internal() (*core.Cluster, rdma.Platform) { return c.cl, c.pl }
+func (c *Cluster) Internal() (*core.Cluster, rdma.Platform) { return c.cl, c.fab.platform() }

@@ -9,6 +9,12 @@
 //	> get greeting
 //	(not found)
 //
+// It doubles as the fault-injection console for a live group:
+//
+//	> kill 1                      crash mn1 (fail-stop; master recovers it)
+//	> chaos 2 7 0.02 0.1 1ms 0.02 seeded drop/delay/reset injection on mn2
+//	> chaos 2                     clear injection on mn2
+//
 // Start it with the same -peers and geometry flags as the daemons.
 package main
 
@@ -19,9 +25,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
 )
 
@@ -108,12 +117,88 @@ func execute(c *core.Client, fields []string) (quit bool) {
 		s := c.Stats
 		fmt.Printf("ops=%d cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d\n",
 			s.Ops, s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries, s.CacheHits)
+	case "kill":
+		if len(fields) != 2 {
+			fmt.Println("usage: kill <mn>")
+			return
+		}
+		mn, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println("error: mn must be an integer")
+			return
+		}
+		if err := c.KillMN(mn); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("fail-stop injected on mn%d (master will recover it onto a spare)\n", mn)
+		}
+	case "chaos":
+		if len(fields) != 2 && len(fields) != 7 {
+			fmt.Println("usage: chaos <mn> [<seed> <dropProb> <delayProb> <maxDelay> <resetProb>]")
+			fmt.Println("       chaos <mn>   (no further args) clears injection")
+			return
+		}
+		mn, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Println("error: mn must be an integer")
+			return
+		}
+		var cfg rdma.ChaosConfig
+		if len(fields) == 7 {
+			cfg, err = parseChaos(fields[2:])
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		if err := c.ChaosMN(mn, cfg); err != nil {
+			fmt.Println("error:", err)
+		} else if cfg.Enabled() {
+			fmt.Printf("chaos installed on mn%d: drop=%.3f delay=%.3f(max %v) reset=%.3f seed=%d\n",
+				mn, cfg.DropProb, cfg.DelayProb, cfg.MaxDelay, cfg.ResetProb, cfg.Seed)
+		} else {
+			fmt.Printf("chaos cleared on mn%d\n", mn)
+		}
 	case "quit", "exit":
 		return true
 	case "help":
 		fmt.Println("commands: get <k> | set <k> <v> | del <k> | stats | quit")
+		fmt.Println("fault injection: kill <mn> | chaos <mn> [<seed> <drop> <delay> <maxDelay> <reset>]")
 	default:
 		fmt.Println("unknown command (try: help)")
 	}
 	return false
+}
+
+// parseChaos decodes "<seed> <dropProb> <delayProb> <maxDelay> <resetProb>",
+// e.g. "7 0.02 0.1 1ms 0.02".
+func parseChaos(fields []string) (rdma.ChaosConfig, error) {
+	var cfg rdma.ChaosConfig
+	seed, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return cfg, fmt.Errorf("seed: %w", err)
+	}
+	drop, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return cfg, fmt.Errorf("dropProb: %w", err)
+	}
+	delay, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return cfg, fmt.Errorf("delayProb: %w", err)
+	}
+	maxDelay, err := time.ParseDuration(fields[3])
+	if err != nil {
+		return cfg, fmt.Errorf("maxDelay: %w", err)
+	}
+	reset, err := strconv.ParseFloat(fields[4], 64)
+	if err != nil {
+		return cfg, fmt.Errorf("resetProb: %w", err)
+	}
+	return rdma.ChaosConfig{
+		Seed:      seed,
+		DropProb:  drop,
+		DelayProb: delay,
+		MaxDelay:  maxDelay,
+		ResetProb: reset,
+	}, nil
 }

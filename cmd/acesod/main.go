@@ -14,6 +14,14 @@
 //
 // Every daemon and client must be started with the same -peers list
 // and geometry flags so they construct identical layouts.
+//
+// The daemon is also the deployment surface for fault injection: the
+// core RPC dispatch answers the admin verbs, so any client can crash a
+// node (acesocli `kill <mn>`) or install probabilistic drop/delay/reset
+// chaos on it (`chaos <mn> ...`) without daemon-side flags. The
+// -op-timeout/-retry-budget/-dial-timeout flags bound how long this
+// daemon's own outgoing verbs (checkpointing, coding, recovery) ride
+// the transparent-reconnect layer before a peer is declared failed.
 package main
 
 import (
@@ -42,6 +50,10 @@ func main() {
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
 	ckpt := flag.Duration("ckpt", cfg.CkptInterval, "checkpoint interval")
+	opt := tcpnet.Options{}.WithDefaults()
+	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
+	flag.DurationVar(&opt.OpTimeout, "op-timeout", opt.OpTimeout, "per-verb I/O deadline before a retry")
+	flag.DurationVar(&opt.RetryBudget, "retry-budget", opt.RetryBudget, "total retry window before a peer is declared failed")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -57,6 +69,7 @@ func main() {
 	}
 
 	pl := tcpnet.New(addrs, rdma.NodeID(*mn), true)
+	pl.SetOptions(opt)
 	cl, err := core.NewCluster(cfg, pl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// Admin RPCs: the fault-injection surface a running cluster exposes to
+// harnesses and the CLI. They exist for the wall-clock fabric, where a
+// remote daemon's platform cannot be reached in-process — a simulated
+// harness holds the Cluster and calls FailMN / SetChaos directly, and
+// should (raw goroutines inside a handler would break the engine's
+// determinism).
+
+// handleAdminFail fail-stops this MN. The response is sent before the
+// crash: the handler runs inside a transport goroutine that the
+// server's shutdown joins, so crashing inline would deadlock. The
+// delay lets the stOK response flush to the requester first.
+func (s *Server) handleAdminFail(_ []byte) ([]byte, time.Duration) {
+	mn := s.mn
+	cl := s.cl
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cl.FailMN(mn)
+	}()
+	return []byte{stOK}, time.Microsecond
+}
+
+// handleAdminChaos installs the decoded chaos config on this MN's
+// fabric node.
+func (s *Server) handleAdminChaos(req []byte) ([]byte, time.Duration) {
+	d := dec{b: req}
+	cfg := rdma.ChaosConfig{
+		Seed:      int64(d.u64()),
+		DropProb:  math.Float64frombits(d.u64()),
+		DelayProb: math.Float64frombits(d.u64()),
+		MaxDelay:  time.Duration(d.u64()),
+		ResetProb: math.Float64frombits(d.u64()),
+	}
+	fi, ok := s.cl.pl.(rdma.FaultInjector)
+	if !ok {
+		return []byte{stBadArg}, time.Microsecond
+	}
+	fi.SetChaos(s.node, cfg)
+	return []byte{stOK}, time.Microsecond
+}
+
+func encodeChaos(cfg rdma.ChaosConfig) []byte {
+	var e enc
+	e.u64(uint64(cfg.Seed))
+	e.u64(math.Float64bits(cfg.DropProb))
+	e.u64(math.Float64bits(cfg.DelayProb))
+	e.u64(uint64(cfg.MaxDelay))
+	e.u64(math.Float64bits(cfg.ResetProb))
+	return e.b
+}
+
+// KillMN asks logical MN mn to fail-stop itself (admin fault
+// injection). The kill is asynchronous: the MN acknowledges, then
+// crashes ~10ms later; the master detects it and recovers onto a spare
+// as for any crash.
+func (c *Client) KillMN(mn int) error {
+	node, ok := c.cl.view.nodeOf(mn)
+	if !ok {
+		return rdma.ErrNodeFailed
+	}
+	resp, err := c.ctx.RPC(node, methodAdminFail, nil)
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != stOK {
+		return errRPC
+	}
+	return nil
+}
+
+// ChaosMN installs (or, with a zero config, clears) probabilistic
+// fault injection on the fabric node serving logical MN mn.
+func (c *Client) ChaosMN(mn int, cfg rdma.ChaosConfig) error {
+	node, ok := c.cl.view.nodeOf(mn)
+	if !ok {
+		return rdma.ErrNodeFailed
+	}
+	resp, err := c.ctx.RPC(node, methodAdminChaos, encodeChaos(cfg))
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != stOK {
+		return errRPC
+	}
+	return nil
+}

@@ -61,6 +61,9 @@ func (v *view) snapshotMN(mn int) (node rdma.NodeID, failed, idxReady, blkReady 
 func (v *view) nodeOf(mn int) (rdma.NodeID, bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if mn < 0 || mn >= len(v.node) {
+		return 0, false
+	}
 	return v.node[mn], !v.failed[mn]
 }
 
@@ -145,7 +148,12 @@ func (cl *Cluster) PackedAddr(a uint64) (rdma.GlobalAddr, bool) {
 }
 
 // Server returns the server of logical MN i (test and recovery use).
-func (cl *Cluster) Server(mn int) *Server { return cl.servers[mn] }
+// Recovery republishes servers under view.mu, so the read is guarded.
+func (cl *Cluster) Server(mn int) *Server {
+	cl.view.mu.Lock()
+	defer cl.view.mu.Unlock()
+	return cl.servers[mn]
+}
 
 // MNNode returns the physical node currently serving logical MN i
 // (harness instrumentation).
@@ -160,8 +168,11 @@ func (cl *Cluster) Master() *Master { return cl.master }
 // Reclaimed returns the total count of blocks handed out through
 // delta-based reclamation across all servers.
 func (cl *Cluster) Reclaimed() int {
+	cl.view.mu.Lock()
+	servers := append([]*Server(nil), cl.servers...)
+	cl.view.mu.Unlock()
 	total := 0
-	for _, s := range cl.servers {
+	for _, s := range servers {
 		s.mu.Lock()
 		total += s.reclaimed
 		s.mu.Unlock()

@@ -137,14 +137,18 @@ func (m *Master) recoverOnto(ctx rdma.Ctx, mn int, spare rdma.NodeID) {
 // server daemons stop, clients see ErrNodeFailed, and the master is
 // notified (as the lease-based membership service would, §3.4).
 func (cl *Cluster) FailMN(mn int) {
-	cl.servers[mn].stop()
+	// Read the server and node under view.mu (recovery publishes the
+	// replacement server under the same lock), and mark the MN failed
+	// before tearing anything down so clients stop targeting it first.
 	cl.view.mu.Lock()
+	srv := cl.servers[mn]
 	node := cl.view.node[mn]
 	cl.view.failed[mn] = true
 	cl.view.indexReady[mn] = false
 	cl.view.blocksReady[mn] = false
 	cl.view.epoch++
 	cl.view.mu.Unlock()
+	srv.stop()
 	cl.pl.Fail(node)
 	if cl.master != nil {
 		cl.master.mu.Lock()
@@ -159,6 +163,15 @@ func (v *view) nodeIs(mn int, node rdma.NodeID) bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return v.node[mn] == node
+}
+
+// ReportList returns a snapshot of the recovery reports collected so
+// far. On wall-clock fabrics the Reports field itself races with the
+// recovery process; harnesses must use this accessor instead.
+func (m *Master) ReportList() []*RecoveryReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*RecoveryReport(nil), m.Reports...)
 }
 
 // MNState reports a logical MN's recovery state (for harnesses).

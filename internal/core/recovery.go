@@ -237,10 +237,14 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	}
 	// Functionality restored: bring up the replacement server and
 	// reopen the index partition (writes full speed, reads degraded).
+	// The server starts before it is published: until failed[mn] flips,
+	// nothing resolves the logical MN, and publishing server and view
+	// together under view.mu keeps FailMN/Server() reads coherent on
+	// wall-clock fabrics.
 	srv := newServer(cl, mn, ctx.Node())
-	cl.servers[mn] = srv
 	srv.start()
 	cl.view.mu.Lock()
+	cl.servers[mn] = srv
 	cl.view.failed[mn] = false
 	cl.view.indexReady[mn] = true
 	cl.view.epoch++
@@ -255,9 +259,14 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 		recoverBlocks(ctx, cl, mn, oldLocal, recovered)
 	}
 	rep.OldLBlockCount = len(oldLocal)
+	memMu := cl.pl.MemMutex(ctx.Node())
 	for b := 0; b < l.Cfg.StripeRows; b++ {
+		// The replacement server is live by now, so tier-3's direct
+		// local-memory access must synchronise with the verb executor.
 		off := l.RecordOff(b)
+		memMu.Lock()
 		rec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
+		memMu.Unlock()
 		if rec.Role == layout.RoleParity {
 			recoverParityRow(ctx, cl, mn, mem, b, &rec)
 		}
@@ -626,7 +635,13 @@ func decodeStripeInto(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, shar
 	if !ok {
 		return // leave the block zeroed
 	}
+	// Tier-3 decodes run while the replacement server is serving, so
+	// the install must synchronise with the verb executor (no-op lock
+	// during tier 1/2 on simulated fabrics either way).
+	memMu := cl.pl.MemMutex(ctx.Node())
+	memMu.Lock()
 	copy(mem[cl.L.BlockOff(b):cl.L.BlockOff(b)+cl.L.Cfg.BlockSize], out)
+	memMu.Unlock()
 }
 
 // recoverBlocksWithHelpers distributes block decoding across helper
@@ -739,6 +754,15 @@ func helperDecodeAndShip(hctx rdma.Ctx, cl *Cluster, mn, b int, f fetchedStripe)
 // recovered in the background", §3.4.1) together with the DELTA blocks
 // it tracks, using DELTA_b = DATA_b ⊕ enc_b.
 func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec *layout.Record) {
+	// Parity recovery runs after the replacement server went live, so
+	// every touch of local memory (the parity block, rebuilt delta
+	// blocks, records) races with the verb executor and the encoder
+	// daemon on wall-clock fabrics. Hold the region lock for the row;
+	// the remote reads inside are to other nodes and never wait on this
+	// lock, and foreground verbs stall at most one row's rebuild.
+	memMu := cl.pl.MemMutex(ctx.Node())
+	memMu.Lock()
+	defer memMu.Unlock()
 	l := cl.L
 	stripe := uint32(b)
 	bs := l.Cfg.BlockSize

@@ -185,6 +185,10 @@ func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
 		return s.handleApplyCkpt(req)
 	case methodPing:
 		return []byte{stOK}, 200 * time.Nanosecond
+	case methodAdminFail:
+		return s.handleAdminFail(req)
+	case methodAdminChaos:
+		return s.handleAdminChaos(req)
 	}
 	return []byte{stBadArg}, time.Microsecond
 }

@@ -43,6 +43,12 @@ const (
 	// methodDropDelta discards the DELTA block of (stripe, xorID)
 	// without encoding it (used when an aborted client wrote garbage).
 	methodDropDelta
+	// methodAdminFail asks this MN to fail-stop itself (fault-injection
+	// surface for harnesses and the CLI; see admin.go).
+	methodAdminFail
+	// methodAdminChaos installs a rdma.ChaosConfig on this MN's fabric
+	// node (probabilistic drop/delay/reset injection).
+	methodAdminChaos
 )
 
 // RPC status codes.

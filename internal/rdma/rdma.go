@@ -76,6 +76,16 @@ type Op struct {
 // Verbs is the one-sided operation set available to a client or
 // memory-node server process. Implementations are not safe for
 // concurrent use by multiple processes; each process dials its own.
+//
+// Reliability contract: transient transport faults (a dropped frame, a
+// reset connection, a restarting server) are retried transparently
+// within a bounded backoff budget; only a node that stays unreachable
+// past the budget — or is known fail-stopped — surfaces as
+// ErrNodeFailed. Retries give at-least-once semantics: an operation
+// whose connection died after the request was flushed may execute
+// twice. READ/WRITE are idempotent; CAS/FAA re-execution is possible
+// only in that narrow window (injected chaos faults are applied before
+// execution and never re-execute — see ChaosConfig).
 type Verbs interface {
 	// Read copies len(buf) bytes from addr into buf.
 	Read(buf []byte, addr GlobalAddr) error
@@ -167,6 +177,49 @@ type Platform interface {
 	// serialises everything); the TCP fabric returns the verb
 	// executor's region lock.
 	MemMutex(node NodeID) sync.Locker
+}
+
+// ChaosConfig parameterises probabilistic fault injection on a fabric
+// node. All probabilities are per verb/RPC frame and independent; the
+// injection sequence is fully determined by Seed, so a chaotic run can
+// be replayed. Faults are injected *before* the target executes the
+// operation, so a dropped or reset request was never applied and is
+// always safe to retry — only a genuine connection loss mid-exchange
+// leaves an operation's effect ambiguous (see the Verbs retry notes).
+type ChaosConfig struct {
+	// Seed seeds the node's chaos RNG. The same seed yields the same
+	// fault sequence for the same frame sequence.
+	Seed int64
+	// DropProb is the probability a request frame is silently dropped
+	// (no response; the client times out and retries).
+	DropProb float64
+	// DelayProb is the probability a request is delayed by a uniform
+	// random duration in (0, MaxDelay] before execution.
+	DelayProb float64
+	// MaxDelay bounds injected delays.
+	MaxDelay time.Duration
+	// ResetProb is the probability the connection carrying the request
+	// is reset (closed) instead of answering.
+	ResetProb float64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c ChaosConfig) Enabled() bool {
+	return c.DropProb > 0 || c.DelayProb > 0 || c.ResetProb > 0
+}
+
+// FaultInjector is the runtime fault-injection surface of a Platform:
+// fail-stop crashes plus seedable probabilistic chaos. Both fabrics
+// implement it; harnesses type-assert a Platform to reach it.
+type FaultInjector interface {
+	// Fail fail-stops a node (same contract as Platform.Fail).
+	Fail(node NodeID)
+	// Failed reports whether a node has fail-stopped.
+	Failed(node NodeID) bool
+	// SetChaos installs (or, with a zero config, clears) chaos on a
+	// node this process serves. Remote nodes are configured through
+	// their own daemons (see core's admin RPCs).
+	SetChaos(node NodeID, cfg ChaosConfig)
 }
 
 // NopLocker is a no-op sync.Locker for fabrics whose scheduling

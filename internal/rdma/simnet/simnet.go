@@ -14,6 +14,7 @@ package simnet
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -73,6 +74,30 @@ type node struct {
 	handler rdma.Handler
 	failed  bool
 	isMem   bool
+	chaos   rdma.ChaosConfig
+	rng     *rand.Rand // nil unless chaos is installed
+}
+
+// chaosRoll draws one frame's injected faults. The engine runs one
+// process at a time, so the node RNG needs no lock and the fault
+// sequence is fully reproducible.
+func (n *node) chaosRoll() (delay time.Duration, lost bool) {
+	if n.rng == nil || !n.chaos.Enabled() {
+		return 0, false
+	}
+	c := &n.chaos
+	if c.DelayProb > 0 && c.MaxDelay > 0 && n.rng.Float64() < c.DelayProb {
+		delay = time.Duration(n.rng.Int63n(int64(c.MaxDelay))) + 1
+	}
+	// Drops and resets collapse to the same observable on the simulated
+	// fabric: the QP retries in hardware and eventually reports failure.
+	if c.ResetProb > 0 && n.rng.Float64() < c.ResetProb {
+		return delay, true
+	}
+	if c.DropProb > 0 && n.rng.Float64() < c.DropProb {
+		return delay, true
+	}
+	return delay, false
 }
 
 // Platform is a simulated cluster. It implements rdma.Platform.
@@ -145,6 +170,19 @@ func (pl *Platform) Fail(nodeID rdma.NodeID) {
 
 // Failed reports whether a node has fail-stopped.
 func (pl *Platform) Failed(nodeID rdma.NodeID) bool { return pl.nodes[nodeID].failed }
+
+var _ rdma.FaultInjector = (*Platform)(nil)
+
+// SetChaos implements rdma.FaultInjector: probabilistic faults on the
+// node, seeded for reproducibility. On the simulated fabric a dropped
+// or reset frame surfaces as ErrNodeFailed after FailedOpDelay (the
+// QP's in-hardware retries exhausting), and injected delays extend the
+// op's service time.
+func (pl *Platform) SetChaos(nodeID rdma.NodeID, cfg rdma.ChaosConfig) {
+	n := pl.nodes[nodeID]
+	n.chaos = cfg
+	n.rng = rand.New(rand.NewSource(cfg.Seed))
+}
 
 // Spawn starts fn as a simulated process on the given node.
 func (pl *Platform) Spawn(nodeID rdma.NodeID, name string, fn func(rdma.Ctx)) {
@@ -290,14 +328,19 @@ func (c *ctx) doBatch(ops []rdma.Op) error {
 			op.Err = fmt.Errorf("%w: unknown node %d", rdma.ErrOutOfBounds, op.Addr.Node)
 		} else {
 			t := c.pl.nodes[op.Addr.Node]
-			if t.failed || !t.isMem {
-				op.Err = rdma.ErrNodeFailed
-				if done := c.p.Now() + cfg.FailedOpDelay; done > completion {
+			delay, lost := t.chaosRoll()
+			if t.failed || !t.isMem || lost {
+				if t.failed || !t.isMem {
+					op.Err = rdma.ErrNodeFailed
+				} else {
+					op.Err = fmt.Errorf("%w: injected frame loss", rdma.ErrNodeFailed)
+				}
+				if done := c.p.Now() + cfg.FailedOpDelay + delay; done > completion {
 					completion = done
 				}
 			} else {
 				arrive := c.p.Now() + cfg.PropDelay
-				svc := c.svcTime(op)
+				svc := c.svcTime(op) + delay
 				done := t.nic.ReserveAt(arrive, svc) + cfg.PropDelay
 				if done > completion {
 					completion = done
@@ -354,11 +397,12 @@ func (c *ctx) Post(ops []rdma.Op) error {
 			op.Err = fmt.Errorf("%w: unknown node %d", rdma.ErrOutOfBounds, op.Addr.Node)
 		} else {
 			t := c.pl.nodes[op.Addr.Node]
-			if t.failed || !t.isMem {
+			delay, lost := t.chaosRoll()
+			if t.failed || !t.isMem || lost {
 				op.Err = rdma.ErrNodeFailed
 			} else {
 				arrive := c.p.Now() + cfg.PropDelay
-				t.nic.ReserveAt(arrive, c.svcTime(op))
+				t.nic.ReserveAt(arrive, c.svcTime(op)+delay)
 				c.apply(op, t)
 			}
 		}
@@ -380,9 +424,16 @@ func (c *ctx) RPC(nodeID rdma.NodeID, method uint8, req []byte) ([]byte, error) 
 		return nil, fmt.Errorf("%w: unknown node %d", rdma.ErrOutOfBounds, nodeID)
 	}
 	t := c.pl.nodes[nodeID]
-	if t.failed {
+	delay, lost := t.chaosRoll()
+	if delay > 0 {
+		c.p.Sleep(delay)
+	}
+	if t.failed || lost {
 		c.p.Sleep(cfg.FailedOpDelay)
-		return nil, rdma.ErrNodeFailed
+		if t.failed {
+			return nil, rdma.ErrNodeFailed
+		}
+		return nil, fmt.Errorf("%w: injected frame loss", rdma.ErrNodeFailed)
 	}
 	if t.handler == nil {
 		return nil, rdma.ErrNoHandler

@@ -1,0 +1,227 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+func testOptions() Options {
+	return Options{
+		DialTimeout: time.Second,
+		OpTimeout:   200 * time.Millisecond,
+		RetryBudget: 2 * time.Second,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+// restartDaemon rebinds a daemon platform on addr, retrying while the
+// old listener's port is still releasing.
+func restartDaemon(t *testing.T, addr string, memBytes uint64) *Platform {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pl, err := func() (pl *Platform, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = errors.New("bind failed")
+				}
+			}()
+			pl = New([]string{addr}, 0, true)
+			pl.AddMemNode(rdma.MemNodeConfig{MemBytes: memBytes})
+			return pl, nil
+		}()
+		if err == nil {
+			return pl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s", addr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReconnectAfterServerRestart kills the server mid-workload and
+// restarts it on the same address; in-flight verbs must ride the retry
+// loop across the outage instead of failing.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	srv := New([]string{"127.0.0.1:0"}, 0, true)
+	srv.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 20})
+	addr := srv.Addr()
+
+	cpl := New([]string{addr}, 0, false)
+	cpl.SetOptions(testOptions())
+	v := newVerbs(cpl)
+	target := rdma.GlobalAddr{Node: 0, Off: 128}
+	if err := v.Write(target, []byte("before outage")); err != nil {
+		t.Fatalf("write before outage: %v", err)
+	}
+
+	srv.Close()
+	restarted := make(chan *Platform, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		restarted <- restartDaemon(t, addr, 1<<20)
+	}()
+
+	// Issued while the server is down; must succeed once it is back.
+	if err := v.Write(target, []byte("after restart")); err != nil {
+		t.Fatalf("write across restart: %v", err)
+	}
+	buf := make([]byte, 13)
+	if err := v.Read(buf, target); err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if string(buf) != "after restart" {
+		t.Fatalf("read back %q", buf)
+	}
+	(<-restarted).Close()
+}
+
+// TestFailStopSurfaces checks both halves of the fail-stop contract:
+// a locally known failure fails fast, and an unreachable node surfaces
+// as ErrNodeFailed once the retry budget runs out.
+func TestFailStopSurfaces(t *testing.T) {
+	pl := NewGroup()
+	pl.SetOptions(testOptions())
+	id := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+	addr := pl.NodeAddr(id)
+	v := newVerbs(pl)
+	if err := v.Write(rdma.GlobalAddr{Node: id, Off: 0}, []byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	pl.Fail(id)
+	if !pl.Failed(id) {
+		t.Fatal("Failed(id) = false after Fail")
+	}
+	start := time.Now()
+	err := v.Write(rdma.GlobalAddr{Node: id, Off: 0}, []byte("y"))
+	if !errors.Is(err, rdma.ErrNodeFailed) {
+		t.Fatalf("verb after local Fail: err = %v, want ErrNodeFailed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("locally known failure took %v to surface (want fast path)", d)
+	}
+
+	// A client that cannot see the failure locally burns the budget on
+	// refused dials, then reports the node failed.
+	cpl := New([]string{addr}, 0, false)
+	o := testOptions()
+	o.RetryBudget = 400 * time.Millisecond
+	cpl.SetOptions(o)
+	rv := newVerbs(cpl)
+	start = time.Now()
+	err = rv.Write(rdma.GlobalAddr{Node: 0, Off: 0}, []byte("z"))
+	if !errors.Is(err, rdma.ErrNodeFailed) {
+		t.Fatalf("verb against dead server: err = %v, want ErrNodeFailed", err)
+	}
+	if d := time.Since(start); d < o.RetryBudget/2 || d > 5*time.Second {
+		t.Fatalf("budget-bounded failure took %v (budget %v)", d, o.RetryBudget)
+	}
+}
+
+// TestConcurrentAddMemNodeVsVerbs grows the cluster while verbs are in
+// flight; meaningful only under -race (the conn bounds check must read
+// the address list under the platform lock).
+func TestConcurrentAddMemNodeVsVerbs(t *testing.T) {
+	pl := NewGroup()
+	pl.SetOptions(testOptions())
+	first := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+	defer pl.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVerbs(pl)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := v.FAA(rdma.GlobalAddr{Node: first, Off: 0}, 1); err != nil {
+					t.Errorf("faa: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+		pl.AddComputeNode()
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestChaosFAAExact hammers FAA through drop/delay/reset chaos; since
+// chaos faults are injected before execution, the retried operations
+// must still apply exactly once each.
+func TestChaosFAAExact(t *testing.T) {
+	pl := NewGroup()
+	o := testOptions()
+	o.OpTimeout = 50 * time.Millisecond
+	pl.SetOptions(o)
+	id := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+	defer pl.Close()
+	pl.SetChaos(id, rdma.ChaosConfig{
+		Seed:      42,
+		DropProb:  0.08,
+		DelayProb: 0.2,
+		MaxDelay:  time.Millisecond,
+		ResetProb: 0.08,
+	})
+
+	v := newVerbs(pl)
+	const incs = 150
+	for i := 0; i < incs; i++ {
+		if _, err := v.FAA(rdma.GlobalAddr{Node: id, Off: 0}, 1); err != nil {
+			t.Fatalf("faa %d under chaos: %v", i, err)
+		}
+	}
+	pl.SetChaos(id, rdma.ChaosConfig{}) // clear
+	buf := make([]byte, 8)
+	if err := v.Read(buf, rdma.GlobalAddr{Node: id, Off: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != incs {
+		t.Fatalf("counter = %d, want %d (chaos double- or under-applied)", got, incs)
+	}
+}
+
+// TestOversizedFrameRejected sends a frame with an absurd length
+// directly at a server; the connection must be dropped, not allocated
+// for.
+func TestOversizedFrameRejected(t *testing.T) {
+	pl := NewGroup()
+	id := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+	defer pl.Close()
+
+	c, err := net.Dial("tcp", pl.NodeAddr(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [hdrSize]byte
+	hdr[0] = opWrite
+	binary.LittleEndian.PutUint32(hdr[13:17], 0xFFFFFFFF)
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // test conn
+	if _, err := io.ReadFull(c, hdr[:1]); err != io.EOF {
+		t.Fatalf("server answered an oversized frame (err=%v), want closed conn", err)
+	}
+}

@@ -10,18 +10,35 @@
 // address); node ids are assigned in AddMemNode call order, so
 // core.NewCluster builds the same topology in every process.
 //
-// Scope: the TCP fabric supports the full steady-state system (CRUD,
-// differential checkpointing, offline erasure coding, delta-based
-// reclamation). Cross-process failure recovery requires the membership
-// service the paper assumes as given; failure handling is exercised on
-// the simulated fabric.
+// The fabric is a first-class fault-tolerance substrate:
+//
+//   - Fail(node) is a real fail-stop for locally served nodes: the
+//     listener closes, every tracked connection is torn down, and the
+//     registered memory is dropped. Subsequent dials and verbs
+//     targeting the node return rdma.ErrNodeFailed.
+//   - Client verbs reconnect transparently with bounded exponential
+//     backoff and per-attempt I/O deadlines (Options), so a transient
+//     drop or a restarting daemon is retried while a fail-stopped node
+//     surfaces within the retry budget.
+//   - SetChaos installs seedable probabilistic faults (frame drops,
+//     delays, connection resets) on a served node, injected before the
+//     operation executes so chaos-hit operations never double-apply.
+//
+// Two deployment shapes exist: New builds one process's view of a
+// multi-process cluster (each daemon serves exactly its own node),
+// while NewGroup serves every memory node in one process over loopback
+// TCP — the shape examples/failover and the recovery tests use to run
+// the master's tiered recovery end-to-end on a real transport.
 package tcpnet
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -47,124 +64,363 @@ const (
 	stErrBadFrame
 )
 
-// Platform is one process's view of a TCP cluster. It implements
-// rdma.Platform.
-type Platform struct {
-	addrs []string // node id -> listen address ("" for compute nodes)
-	local rdma.NodeID
-	isMem bool
+// hdrSize is the fixed frame header size, both directions.
+// Request frame:  op(1)     seq(4) off(8)    n(4) payload(n).
+// Response frame: status(1) seq(4) result(8) n(4) payload(n).
+// The sequence number lets a client that timed out on one response
+// re-associate later frames, and makes a desynchronised stream (e.g. a
+// chaos-dropped request under pipelining) detectable instead of
+// silently mismatching responses.
+const hdrSize = 17
 
-	mu      sync.Mutex
-	nextMem int
-	nextCN  int
-	mem     []byte
-	handler rdma.Handler
-	srv     *server
-	start   time.Time
+// minFrameClamp floors the oversized-frame clamp so control frames
+// always fit even on a platform with no registered regions yet.
+const minFrameClamp = 1 << 16
+
+// Options tunes the client-side resilience of a platform's verbs. The
+// zero value of any field selects its default.
+type Options struct {
+	// DialTimeout bounds one dial attempt. Default 5s.
+	DialTimeout time.Duration
+	// OpTimeout is the per-attempt I/O deadline of one verb or RPC
+	// exchange on a connection. Default 5s.
+	OpTimeout time.Duration
+	// RetryBudget bounds the total time an operation is transparently
+	// retried across reconnects before it fails with ErrNodeFailed.
+	// Default 3s.
+	RetryBudget time.Duration
+	// BackoffBase is the first reconnect backoff. Default 2ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff. Default 100ms.
+	BackoffMax time.Duration
 }
 
-var _ rdma.Platform = (*Platform)(nil)
+// WithDefaults returns o with zero fields replaced by their defaults.
+func (o Options) WithDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.OpTimeout == 0 {
+		o.OpTimeout = 5 * time.Second
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 3 * time.Second
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 2 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 100 * time.Millisecond
+	}
+	return o
+}
 
-// New creates a platform for one process. memAddrs lists every memory
-// node's address in logical order; local is this process's node id
-// (equal to its index in memAddrs for a daemon, or returned later by
-// AddComputeNode for a client process). A daemon passes isMem=true and
-// starts serving when AddMemNode reaches its id.
+// memNode is one memory node served by this process: its registered
+// region, verb server and chaos state.
+type memNode struct {
+	pl      *Platform
+	id      rdma.NodeID
+	mem     []byte       // nil once fail-stopped (guarded by pl.mu)
+	handler rdma.Handler // guarded by pl.mu
+	srv     *server
+
+	chaosMu sync.Mutex
+	chaos   rdma.ChaosConfig
+	rng     *rand.Rand
+}
+
+// chaosRoll draws this frame's injected faults.
+func (n *memNode) chaosRoll() (delay time.Duration, drop, reset bool) {
+	n.chaosMu.Lock()
+	defer n.chaosMu.Unlock()
+	if n.rng == nil || !n.chaos.Enabled() {
+		return 0, false, false
+	}
+	c := &n.chaos
+	if c.DelayProb > 0 && c.MaxDelay > 0 && n.rng.Float64() < c.DelayProb {
+		delay = time.Duration(n.rng.Int63n(int64(c.MaxDelay))) + 1
+	}
+	if c.ResetProb > 0 && n.rng.Float64() < c.ResetProb {
+		return delay, false, true
+	}
+	if c.DropProb > 0 && n.rng.Float64() < c.DropProb {
+		drop = true
+	}
+	return delay, drop, false
+}
+
+// Platform is one process's view of a TCP cluster. It implements
+// rdma.Platform and rdma.FaultInjector.
+type Platform struct {
+	local rdma.NodeID
+	isMem bool
+	group bool
+	start time.Time
+
+	mu      sync.Mutex
+	opt     Options
+	addrs   []string // node id -> dial address ("" for compute nodes)
+	nextMem int
+	nextCN  int
+	maxMem  uint64 // largest registered region (frame clamp)
+	nodes   map[rdma.NodeID]*memNode
+	failed  map[rdma.NodeID]bool
+}
+
+var (
+	_ rdma.Platform      = (*Platform)(nil)
+	_ rdma.FaultInjector = (*Platform)(nil)
+)
+
+// New creates a platform for one process of a multi-process cluster.
+// memAddrs lists every memory node's address in logical order; local is
+// this process's node id (equal to its index in memAddrs for a daemon,
+// or returned later by AddComputeNode for a client process). A daemon
+// passes isMem=true and starts serving when AddMemNode reaches its id.
 func New(memAddrs []string, local rdma.NodeID, isMem bool) *Platform {
 	return &Platform{
-		addrs: append([]string(nil), memAddrs...),
-		local: local,
-		isMem: isMem,
-		start: time.Now(),
+		addrs:  append([]string(nil), memAddrs...),
+		local:  local,
+		isMem:  isMem,
+		start:  time.Now(),
+		nodes:  make(map[rdma.NodeID]*memNode),
+		failed: make(map[rdma.NodeID]bool),
 	}
 }
 
+// NewGroup creates an in-process cluster: every AddMemNode allocates a
+// region and serves it on its own loopback listener, and every verb
+// still crosses a real TCP connection. Node ids (memory and compute)
+// are assigned from one sequence, so spares provisioned after compute
+// nodes never collide — matching simnet's id assignment.
+func NewGroup() *Platform {
+	return &Platform{
+		group:  true,
+		isMem:  true,
+		start:  time.Now(),
+		nodes:  make(map[rdma.NodeID]*memNode),
+		failed: make(map[rdma.NodeID]bool),
+	}
+}
+
+// SetOptions replaces the client-resilience tuning. Call it before
+// spawning processes; zero fields select defaults.
+func (pl *Platform) SetOptions(o Options) {
+	pl.mu.Lock()
+	pl.opt = o
+	pl.mu.Unlock()
+}
+
+func (pl *Platform) options() Options {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.opt.WithDefaults()
+}
+
+// maxFrame returns the oversized-frame clamp: no legal payload exceeds
+// the largest registered region.
+func (pl *Platform) maxFrame() uint32 {
+	pl.mu.Lock()
+	m := pl.maxMem
+	pl.mu.Unlock()
+	if m < minFrameClamp {
+		m = minFrameClamp
+	}
+	if m > math.MaxUint32 {
+		m = math.MaxUint32
+	}
+	return uint32(m)
+}
+
 // AddMemNode implements rdma.Platform: it assigns the next logical
-// memory-node id. When the id is this process's own, the memory region
-// is allocated and the verb server starts listening.
+// memory-node id. When the node is served by this process (its own id
+// in daemon mode; every id in group mode), the memory region is
+// allocated and a verb server starts listening.
 func (pl *Platform) AddMemNode(cfg rdma.MemNodeConfig) rdma.NodeID {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if cfg.MemBytes > pl.maxMem {
+		pl.maxMem = cfg.MemBytes
+	}
+	if pl.group {
+		id := rdma.NodeID(len(pl.addrs))
+		n := &memNode{pl: pl, id: id, mem: make([]byte, cfg.MemBytes)}
+		srv, err := newServer("127.0.0.1:0", n)
+		if err != nil {
+			panic(fmt.Sprintf("tcpnet: listen: %v", err))
+		}
+		n.srv = srv
+		pl.addrs = append(pl.addrs, srv.ln.Addr().String())
+		pl.nodes[id] = n
+		return id
+	}
 	id := rdma.NodeID(pl.nextMem)
 	pl.nextMem++
 	if pl.isMem && id == pl.local {
-		pl.mem = make([]byte, cfg.MemBytes)
-		srv, err := newServer(pl.addrs[id], pl)
+		n := &memNode{pl: pl, id: id, mem: make([]byte, cfg.MemBytes)}
+		srv, err := newServer(pl.addrs[id], n)
 		if err != nil {
 			panic(fmt.Sprintf("tcpnet: listen %s: %v", pl.addrs[id], err))
 		}
-		pl.srv = srv
+		n.srv = srv
+		pl.nodes[id] = n
 	}
 	return id
 }
 
-// AddComputeNode implements rdma.Platform: compute nodes get ids after
-// the memory nodes and never listen.
+// AddComputeNode implements rdma.Platform: compute nodes never listen.
+// In daemon mode their ids follow the static address list; in group
+// mode they share the single id sequence.
 func (pl *Platform) AddComputeNode() rdma.NodeID {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.group {
+		id := rdma.NodeID(len(pl.addrs))
+		pl.addrs = append(pl.addrs, "")
+		return id
+	}
 	id := rdma.NodeID(len(pl.addrs) + pl.nextCN)
 	pl.nextCN++
 	return id
 }
 
-// SetHandler implements rdma.Platform (local node only; remote
-// handlers are installed by their own daemons).
+// SetHandler implements rdma.Platform (locally served nodes only;
+// remote handlers are installed by their own daemons).
 func (pl *Platform) SetHandler(node rdma.NodeID, h rdma.Handler) {
-	if node == pl.local && pl.isMem {
-		pl.mu.Lock()
-		pl.handler = h
-		pl.mu.Unlock()
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if n := pl.nodes[node]; n != nil && !pl.failed[node] {
+		n.handler = h
 	}
 }
 
 // Spawn implements rdma.Platform: local processes run as goroutines
-// with a wall-clock context; spawns for remote nodes are no-ops (their
-// daemons start them).
+// with a wall-clock context. In daemon mode, spawns for remote nodes
+// are no-ops (their daemons start them); in group mode every node is
+// local.
 func (pl *Platform) Spawn(node rdma.NodeID, name string, fn func(rdma.Ctx)) {
-	if int(node) < len(pl.addrs) && (node != pl.local || !pl.isMem) {
-		return // a remote daemon's process
+	if !pl.group {
+		pl.mu.Lock()
+		remote := int(node) < len(pl.addrs) && (node != pl.local || !pl.isMem)
+		pl.mu.Unlock()
+		if remote {
+			return // a remote daemon's process
+		}
 	}
 	go fn(&ctx{pl: pl, node: node, verbs: newVerbs(pl)})
 }
 
-// Fail implements rdma.Platform. Failure injection is not supported on
-// the TCP fabric (see the package comment).
-func (pl *Platform) Fail(node rdma.NodeID) {}
+// Fail implements rdma.Platform (and rdma.FaultInjector): it
+// fail-stops a node. For a locally served node the listener closes,
+// every tracked connection is torn down and the registered region is
+// dropped; for any node, subsequent local verbs targeting it fail fast
+// with rdma.ErrNodeFailed instead of burning the retry budget.
+func (pl *Platform) Fail(node rdma.NodeID) {
+	pl.mu.Lock()
+	if pl.failed[node] {
+		pl.mu.Unlock()
+		return
+	}
+	pl.failed[node] = true
+	n := pl.nodes[node]
+	var srv *server
+	if n != nil {
+		n.handler = nil
+		srv = n.srv
+	}
+	pl.mu.Unlock()
+	if srv != nil {
+		srv.close() // waits for in-flight verb executions
+	}
+	if n != nil {
+		pl.mu.Lock()
+		n.mem = nil // contents lost, per the fail-stop contract
+		pl.mu.Unlock()
+	}
+}
 
-// Memory implements rdma.Platform: only the local daemon's region is
-// directly accessible.
+// Failed implements rdma.FaultInjector for nodes failed through this
+// process's platform. A remote daemon's crash is not visible here until
+// verbs against it exhaust their retry budget.
+func (pl *Platform) Failed(node rdma.NodeID) bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.failed[node]
+}
+
+// SetChaos implements rdma.FaultInjector: it installs (or clears, with
+// a zero config) seedable probabilistic faults on a locally served
+// node. Remote nodes are configured via their daemons' admin RPC.
+func (pl *Platform) SetChaos(node rdma.NodeID, cfg rdma.ChaosConfig) {
+	pl.mu.Lock()
+	n := pl.nodes[node]
+	pl.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.chaosMu.Lock()
+	n.chaos = cfg
+	n.rng = rand.New(rand.NewSource(cfg.Seed))
+	n.chaosMu.Unlock()
+}
+
+// Memory implements rdma.Platform: only locally served, non-failed
+// regions are directly accessible.
 func (pl *Platform) Memory(node rdma.NodeID) []byte {
-	if node == pl.local && pl.isMem {
-		return pl.mem
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if n := pl.nodes[node]; n != nil {
+		return n.mem
 	}
 	return nil
 }
 
-// MemMutex implements rdma.Platform: the local daemon's verb-executor
-// lock, so MN server daemons can serialise their direct memory access
-// against remote verbs.
+// MemMutex implements rdma.Platform: a locally served node's
+// verb-executor lock, so MN server daemons can serialise their direct
+// memory access against remote verbs.
 func (pl *Platform) MemMutex(node rdma.NodeID) sync.Locker {
-	if node == pl.local && pl.isMem && pl.srv != nil {
-		return &pl.srv.mu
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if n := pl.nodes[node]; n != nil && n.srv != nil {
+		return &n.srv.mu
 	}
 	return rdma.NopLocker{}
 }
 
-// Close stops the local listener.
+// Close stops every local listener.
 func (pl *Platform) Close() {
-	if pl.srv != nil {
-		pl.srv.close()
+	pl.mu.Lock()
+	srvs := make([]*server, 0, len(pl.nodes))
+	for _, n := range pl.nodes {
+		if n.srv != nil {
+			srvs = append(srvs, n.srv)
+		}
+	}
+	pl.mu.Unlock()
+	for _, s := range srvs {
+		s.close()
 	}
 }
 
-// Addr returns the listen address actually bound (useful when
-// listening on port 0 in tests).
+// Addr returns the listen address actually bound by this process's own
+// node (useful when listening on port 0 in tests).
 func (pl *Platform) Addr() string {
-	if pl.srv == nil {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if n := pl.nodes[pl.local]; n != nil && n.srv != nil {
+		return n.srv.ln.Addr().String()
+	}
+	return ""
+}
+
+// NodeAddr returns the dial address of a node ("" for compute nodes).
+func (pl *Platform) NodeAddr(node rdma.NodeID) string {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if int(node) >= len(pl.addrs) {
 		return ""
 	}
-	return pl.srv.ln.Addr().String()
+	return pl.addrs[node]
 }
 
 // SetResolvedAddr overrides a node's dial address (tests bind port 0
@@ -178,7 +434,7 @@ func (pl *Platform) SetResolvedAddr(node rdma.NodeID, addr string) {
 // --- server side ---
 
 type server struct {
-	pl *Platform
+	n  *memNode
 	ln net.Listener
 	wg sync.WaitGroup
 
@@ -189,25 +445,30 @@ type server struct {
 	closed bool
 }
 
-func newServer(addr string, pl *Platform) (*server, error) {
+func newServer(addr string, n *memNode) (*server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{pl: pl, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &server{n: n, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
 func (s *server) close() {
-	s.ln.Close()
 	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
 	s.connMu.Unlock()
+	s.ln.Close()
 	s.wg.Wait()
 }
 
@@ -249,20 +510,22 @@ func (s *server) acceptLoop() {
 	}
 }
 
-// Request frame: op(1) off(8) n(4) payload(n).
-// Response frame: status(1) result(8) n(4) payload(n).
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	var hdr [13]byte
+	var hdr [hdrSize]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
 		op := hdr[0]
-		off := binary.LittleEndian.Uint64(hdr[1:9])
-		n := binary.LittleEndian.Uint32(hdr[9:13])
+		seq := binary.LittleEndian.Uint32(hdr[1:5])
+		off := binary.LittleEndian.Uint64(hdr[5:13])
+		n := binary.LittleEndian.Uint32(hdr[13:17])
+		if n > s.n.pl.maxFrame() {
+			return // oversized frame: the stream is broken or hostile
+		}
 		var payload []byte
 		if op != opRead && n > 0 {
 			payload = make([]byte, n)
@@ -270,11 +533,30 @@ func (s *server) serveConn(conn net.Conn) {
 				return
 			}
 		}
+		if delay, drop, reset := s.n.chaosRoll(); delay > 0 || drop || reset {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if reset {
+				return // connection reset before execution
+			}
+			if drop {
+				// Dropped before execution: flush earlier pipelined
+				// responses so only this frame goes unanswered.
+				if br.Buffered() == 0 {
+					if err := bw.Flush(); err != nil {
+						return
+					}
+				}
+				continue
+			}
+		}
 		status, result, resp := s.apply(op, off, int(n), payload)
-		var rh [13]byte
+		var rh [hdrSize]byte
 		rh[0] = status
-		binary.LittleEndian.PutUint64(rh[1:9], result)
-		binary.LittleEndian.PutUint32(rh[9:13], uint32(len(resp)))
+		binary.LittleEndian.PutUint32(rh[1:5], seq)
+		binary.LittleEndian.PutUint64(rh[5:13], result)
+		binary.LittleEndian.PutUint32(rh[13:17], uint32(len(resp)))
 		if _, err := bw.Write(rh[:]); err != nil {
 			return
 		}
@@ -294,9 +576,10 @@ func (s *server) serveConn(conn net.Conn) {
 // apply executes one verb against local memory under the region lock.
 func (s *server) apply(op uint8, off uint64, n int, payload []byte) (uint8, uint64, []byte) {
 	if op == opRPC {
-		s.pl.mu.Lock()
-		h := s.pl.handler
-		s.pl.mu.Unlock()
+		pl := s.n.pl
+		pl.mu.Lock()
+		h := s.n.handler
+		pl.mu.Unlock()
 		if h == nil {
 			return stErrNoHandler, 0, nil
 		}
@@ -306,7 +589,9 @@ func (s *server) apply(op uint8, off uint64, n int, payload []byte) (uint8, uint
 		resp, _ := h(payload[0], payload[1:])
 		return stOK, 0, resp
 	}
-	mem := s.pl.mem
+	// The region slice is stable for the server's lifetime: Fail only
+	// drops it after close() has joined every connection goroutine.
+	mem := s.n.mem
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch op {
@@ -354,6 +639,14 @@ func (s *server) apply(op uint8, off uint64, n int, payload []byte) (uint8, uint
 
 // --- client side ---
 
+// errTransient tags connection-level failures that the retry loop may
+// transparently recover from; it never escapes the package unwrapped.
+var errTransient = errors.New("tcpnet: transient connection failure")
+
+func transient(err error) error { return fmt.Errorf("%w: %v", errTransient, err) }
+
+func isTransient(err error) bool { return errors.Is(err, errTransient) }
+
 // verbs is one process's connection set; it is not safe for concurrent
 // use (each spawned process gets its own, as the rdma.Verbs contract
 // requires).
@@ -363,39 +656,62 @@ type verbs struct {
 }
 
 type nodeConn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint32
+	dead bool
 }
 
 func newVerbs(pl *Platform) *verbs {
 	return &verbs{pl: pl, conns: make(map[rdma.NodeID]*nodeConn)}
 }
 
+// conn returns the live connection to node, dialing once if needed.
+// Dial failures are transient (the node may be restarting) unless the
+// platform knows the node has fail-stopped.
 func (v *verbs) conn(node rdma.NodeID) (*nodeConn, error) {
-	if nc, ok := v.conns[node]; ok {
+	if nc, ok := v.conns[node]; ok && !nc.dead {
 		return nc, nil
 	}
-	if int(node) >= len(v.pl.addrs) {
+	pl := v.pl
+	pl.mu.Lock()
+	if int(node) >= len(pl.addrs) || pl.addrs[node] == "" {
+		pl.mu.Unlock()
 		return nil, fmt.Errorf("%w: node %d has no address", rdma.ErrOutOfBounds, node)
 	}
-	v.pl.mu.Lock()
-	addr := v.pl.addrs[node]
-	v.pl.mu.Unlock()
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if pl.failed[node] {
+		pl.mu.Unlock()
+		return nil, fmt.Errorf("%w: node %d fail-stopped", rdma.ErrNodeFailed, node)
+	}
+	addr := pl.addrs[node]
+	o := pl.opt.WithDefaults()
+	pl.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", rdma.ErrNodeFailed, addr, err)
+		return nil, transient(err)
 	}
 	nc := &nodeConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16)}
 	v.conns[node] = nc
 	return nc, nil
 }
 
-func (nc *nodeConn) send(op uint8, off uint64, n uint32, payload []byte) error {
-	var hdr [13]byte
+// evict closes and forgets the connection to node (closing prevents
+// the fd leak a bare map delete would cause).
+func (v *verbs) evict(node rdma.NodeID) {
+	if nc, ok := v.conns[node]; ok {
+		nc.dead = true
+		nc.c.Close()
+		delete(v.conns, node)
+	}
+}
+
+func (nc *nodeConn) send(op uint8, seq uint32, off uint64, n uint32, payload []byte) error {
+	var hdr [hdrSize]byte
 	hdr[0] = op
-	binary.LittleEndian.PutUint64(hdr[1:9], off)
-	binary.LittleEndian.PutUint32(hdr[9:13], n)
+	binary.LittleEndian.PutUint32(hdr[1:5], seq)
+	binary.LittleEndian.PutUint64(hdr[5:13], off)
+	binary.LittleEndian.PutUint32(hdr[13:17], n)
 	if _, err := nc.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -407,19 +723,24 @@ func (nc *nodeConn) send(op uint8, off uint64, n uint32, payload []byte) error {
 	return nil
 }
 
-func (nc *nodeConn) recv() (status uint8, result uint64, payload []byte, err error) {
-	var hdr [13]byte
+func (nc *nodeConn) recv(clamp uint32) (status uint8, seq uint32, result uint64, payload []byte, err error) {
+	var hdr [hdrSize]byte
 	if _, err = io.ReadFull(nc.br, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[9:13])
+	n := binary.LittleEndian.Uint32(hdr[13:17])
+	if n > clamp {
+		// A wire-supplied length beyond any registered region means the
+		// stream is broken; fail the connection rather than allocate.
+		return 0, 0, 0, nil, fmt.Errorf("tcpnet: oversized frame (%d bytes)", n)
+	}
 	if n > 0 {
 		payload = make([]byte, n)
 		if _, err = io.ReadFull(nc.br, payload); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, 0, nil, err
 		}
 	}
-	return hdr[0], binary.LittleEndian.Uint64(hdr[1:9]), payload, nil
+	return hdr[0], binary.LittleEndian.Uint32(hdr[1:5]), binary.LittleEndian.Uint64(hdr[5:13]), payload, nil
 }
 
 func statusErr(st uint8) error {
@@ -436,50 +757,151 @@ func statusErr(st uint8) error {
 	return fmt.Errorf("tcpnet: bad frame (status %d)", st)
 }
 
-// doOp sends one op and waits for its response.
-func (v *verbs) doOp(op *rdma.Op) {
-	nc, err := v.conn(op.Addr.Node)
-	if err != nil {
-		op.Err = err
-		return
-	}
+// sendOp writes one op's request frame under a fresh sequence number.
+func (v *verbs) sendOp(nc *nodeConn, op *rdma.Op) (uint32, error) {
+	nc.seq++
+	seq := nc.seq
 	switch op.Kind {
 	case rdma.OpRead:
-		err = nc.send(opRead, op.Addr.Off, uint32(len(op.Buf)), nil)
+		return seq, nc.send(opRead, seq, op.Addr.Off, uint32(len(op.Buf)), nil)
 	case rdma.OpWrite:
-		err = nc.send(opWrite, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
+		return seq, nc.send(opWrite, seq, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
 	case rdma.OpCAS:
 		var p [16]byte
 		binary.LittleEndian.PutUint64(p[:8], op.Old)
 		binary.LittleEndian.PutUint64(p[8:], op.New)
-		err = nc.send(opCAS, op.Addr.Off, 16, p[:])
+		return seq, nc.send(opCAS, seq, op.Addr.Off, 16, p[:])
 	case rdma.OpFAA:
 		var p [8]byte
 		binary.LittleEndian.PutUint64(p[:], op.New)
-		err = nc.send(opFAA, op.Addr.Off, 8, p[:])
+		return seq, nc.send(opFAA, seq, op.Addr.Off, 8, p[:])
 	}
-	if err == nil {
-		err = nc.bw.Flush()
+	return seq, fmt.Errorf("tcpnet: unknown op kind %d", op.Kind)
+}
+
+// attempt executes one send/flush/recv round for ops, pipelining per
+// connection. Connection-level failures tag the affected ops with a
+// transient error; an op whose response simply never arrives (chaos
+// drop) times out with the others on its connection and is retried.
+func (v *verbs) attempt(ops []*rdma.Op, o Options) {
+	clamp := v.pl.maxFrame()
+	pend := make(map[*nodeConn]map[uint32]*rdma.Op)
+	var order []*nodeConn
+
+	// Send phase, grouped by connection to preserve pipelining.
+	for _, op := range ops {
+		op.Err = nil
+		nc, err := v.conn(op.Addr.Node)
+		if err != nil {
+			op.Err = err
+			continue
+		}
+		if pend[nc] == nil {
+			nc.c.SetDeadline(time.Now().Add(o.OpTimeout)) //nolint:errcheck // surfaced at I/O
+			pend[nc] = make(map[uint32]*rdma.Op)
+			order = append(order, nc)
+		}
+		seq, err := v.sendOp(nc, op)
+		if err != nil {
+			op.Err = transient(err)
+			v.evict(op.Addr.Node)
+			continue
+		}
+		pend[nc][seq] = op
 	}
-	if err != nil {
-		op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
-		delete(v.conns, op.Addr.Node)
-		return
+	for _, nc := range order {
+		if nc.dead {
+			continue
+		}
+		if err := nc.bw.Flush(); err != nil {
+			v.evictConn(nc)
+		}
 	}
-	st, result, payload, err := nc.recv()
-	if err != nil {
-		op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
-		delete(v.conns, op.Addr.Node)
-		return
+
+	// Receive phase: match responses to ops by sequence number.
+	for _, nc := range order {
+		m := pend[nc]
+		for len(m) > 0 && !nc.dead {
+			st, seq, result, payload, err := nc.recv(clamp)
+			if err != nil {
+				v.evictConn(nc)
+				break
+			}
+			op, ok := m[seq]
+			if !ok {
+				continue // stale response from a superseded exchange
+			}
+			delete(m, seq)
+			if e := statusErr(st); e != nil {
+				op.Err = e
+				continue
+			}
+			op.Result = result
+			if op.Kind == rdma.OpRead {
+				copy(op.Buf, payload)
+			}
+		}
+		for _, op := range m {
+			if op.Err == nil {
+				op.Err = transient(fmt.Errorf("connection to node %d lost", op.Addr.Node))
+			}
+		}
+		if !nc.dead {
+			nc.c.SetDeadline(time.Time{}) //nolint:errcheck // best effort
+		}
 	}
-	if err := statusErr(st); err != nil {
-		op.Err = err
-		return
+}
+
+// evictConn is evict keyed by connection (the node id is found by
+// scanning the small per-process map).
+func (v *verbs) evictConn(nc *nodeConn) {
+	nc.dead = true
+	nc.c.Close()
+	for node, cur := range v.conns {
+		if cur == nc {
+			delete(v.conns, node)
+			return
+		}
 	}
-	op.Result = result
-	if op.Kind == rdma.OpRead {
-		copy(op.Buf, payload)
+}
+
+// run drives ops to completion: transient failures are retried with
+// bounded exponential backoff until the retry budget expires, at which
+// point they surface as ErrNodeFailed.
+func (v *verbs) run(ops []*rdma.Op) {
+	o := v.pl.options()
+	deadline := time.Now().Add(o.RetryBudget)
+	backoff := o.BackoffBase
+	pending := ops
+	for {
+		v.attempt(pending, o)
+		retry := pending[:0]
+		for _, op := range pending {
+			if op.Err != nil && isTransient(op.Err) {
+				retry = append(retry, op)
+			}
+		}
+		if len(retry) == 0 {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			for _, op := range retry {
+				op.Err = fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, op.Err)
+			}
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > o.BackoffMax {
+			backoff = o.BackoffMax
+		}
+		pending = retry
 	}
+}
+
+func (v *verbs) doOp(op *rdma.Op) {
+	single := [1]*rdma.Op{op}
+	v.run(single[:])
 }
 
 func (v *verbs) Read(buf []byte, addr rdma.GlobalAddr) error {
@@ -507,75 +929,20 @@ func (v *verbs) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
 }
 
 // Batch pipelines the ops (all requests written before responses are
-// read, per connection) and returns the first error.
+// read, per connection), retries transient failures, and returns the
+// first error.
 func (v *verbs) Batch(ops []rdma.Op) error {
-	// Send phase, grouped by connection to preserve pipelining.
-	sent := make([]bool, len(ops))
+	ptrs := make([]*rdma.Op, len(ops))
 	for i := range ops {
-		op := &ops[i]
-		nc, err := v.conn(op.Addr.Node)
-		if err != nil {
-			op.Err = err
-			continue
-		}
-		switch op.Kind {
-		case rdma.OpRead:
-			err = nc.send(opRead, op.Addr.Off, uint32(len(op.Buf)), nil)
-		case rdma.OpWrite:
-			err = nc.send(opWrite, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
-		case rdma.OpCAS:
-			var p [16]byte
-			binary.LittleEndian.PutUint64(p[:8], op.Old)
-			binary.LittleEndian.PutUint64(p[8:], op.New)
-			err = nc.send(opCAS, op.Addr.Off, 16, p[:])
-		case rdma.OpFAA:
-			var p [8]byte
-			binary.LittleEndian.PutUint64(p[:], op.New)
-			err = nc.send(opFAA, op.Addr.Off, 8, p[:])
-		}
-		if err != nil {
-			op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
-			delete(v.conns, op.Addr.Node)
-			continue
-		}
-		sent[i] = true
+		ptrs[i] = &ops[i]
 	}
-	for _, nc := range v.conns {
-		nc.bw.Flush() //nolint:errcheck // surfaced at recv
-	}
-	// Receive phase, in send order per connection.
-	var firstErr error
+	v.run(ptrs)
 	for i := range ops {
-		op := &ops[i]
-		if !sent[i] {
-			if op.Err != nil && firstErr == nil {
-				firstErr = op.Err
-			}
-			continue
-		}
-		nc := v.conns[op.Addr.Node]
-		if nc == nil {
-			op.Err = rdma.ErrNodeFailed
-		} else {
-			st, result, payload, err := nc.recv()
-			switch {
-			case err != nil:
-				op.Err = fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
-				delete(v.conns, op.Addr.Node)
-			case statusErr(st) != nil:
-				op.Err = statusErr(st)
-			default:
-				op.Result = result
-				if op.Kind == rdma.OpRead {
-					copy(op.Buf, payload)
-				}
-			}
-		}
-		if op.Err != nil && firstErr == nil {
-			firstErr = op.Err
+		if ops[i].Err != nil {
+			return ops[i].Err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // Post implements rdma.Verbs; over TCP an unsignaled post degenerates
@@ -583,28 +950,63 @@ func (v *verbs) Batch(ops []rdma.Op) error {
 // skip).
 func (v *verbs) Post(ops []rdma.Op) error { return v.Batch(ops) }
 
-// RPC sends a two-sided request to the daemon on node.
+// RPC sends a two-sided request to the daemon on node, with the same
+// transparent-reconnect behaviour as the one-sided verbs.
 func (v *verbs) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) {
+	payload := append([]byte{method}, req...)
+	o := v.pl.options()
+	deadline := time.Now().Add(o.RetryBudget)
+	backoff := o.BackoffBase
+	for {
+		resp, err := v.rpcOnce(node, payload, o)
+		if err == nil || !isTransient(err) {
+			return resp, err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > o.BackoffMax {
+			backoff = o.BackoffMax
+		}
+	}
+}
+
+func (v *verbs) rpcOnce(node rdma.NodeID, payload []byte, o Options) ([]byte, error) {
 	nc, err := v.conn(node)
 	if err != nil {
 		return nil, err
 	}
-	payload := append([]byte{method}, req...)
-	if err := nc.send(opRPC, 0, uint32(len(payload)), payload); err == nil {
+	nc.c.SetDeadline(time.Now().Add(o.OpTimeout)) //nolint:errcheck // surfaced at I/O
+	nc.seq++
+	seq := nc.seq
+	if err := nc.send(opRPC, seq, 0, uint32(len(payload)), payload); err == nil {
 		err = nc.bw.Flush()
+		if err != nil {
+			v.evictConn(nc)
+			return nil, transient(err)
+		}
 	} else {
-		delete(v.conns, node)
-		return nil, fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+		v.evictConn(nc)
+		return nil, transient(err)
 	}
-	st, _, resp, err := nc.recv()
-	if err != nil {
-		delete(v.conns, node)
-		return nil, fmt.Errorf("%w: %v", rdma.ErrNodeFailed, err)
+	clamp := v.pl.maxFrame()
+	for {
+		st, rseq, _, resp, err := nc.recv(clamp)
+		if err != nil {
+			v.evictConn(nc)
+			return nil, transient(err)
+		}
+		if rseq != seq {
+			continue // stale response from a superseded exchange
+		}
+		nc.c.SetDeadline(time.Time{}) //nolint:errcheck // best effort
+		if err := statusErr(st); err != nil {
+			return nil, err
+		}
+		return resp, nil
 	}
-	if err := statusErr(st); err != nil {
-		return nil, err
-	}
-	return resp, nil
 }
 
 // ctx is the wall-clock process context.
@@ -618,9 +1020,4 @@ func (c *ctx) Node() rdma.NodeID                { return c.node }
 func (c *ctx) Now() time.Duration               { return time.Since(c.pl.start) }
 func (c *ctx) Sleep(d time.Duration)            { time.Sleep(d) }
 func (c *ctx) UseCPU(core int, d time.Duration) {}
-func (c *ctx) LocalMem() []byte {
-	if c.node == c.pl.local && c.pl.isMem {
-		return c.pl.mem
-	}
-	return nil
-}
+func (c *ctx) LocalMem() []byte                 { return c.pl.Memory(c.node) }
