@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/simnet"
 	"repro/internal/rdma/tcpnet"
@@ -43,6 +44,10 @@ type Config = core.Config
 // one-sided verbs. Bind one client per process via RunClient.
 type Client = core.Client
 
+// ClientStats is a client's operation/cache/retry counter set,
+// readable as Client.Stats from inside the client's own process.
+type ClientStats = core.ClientStats
+
 // RecoveryReport breaks a memory-node recovery into the tiers of
 // §3.4.1 / Table 2.
 type RecoveryReport = core.RecoveryReport
@@ -53,6 +58,19 @@ type MemoryUsage = core.MemoryUsage
 // ChaosConfig parameterises probabilistic fault injection on a memory
 // node (drops, delays, connection resets; seedable).
 type ChaosConfig = rdma.ChaosConfig
+
+// TraceEvent is one structured entry of the cluster's trace ring
+// (failure detections, per-tier recovery phase timings).
+type TraceEvent = obs.Event
+
+// ServerStats is one memory node's management-plane counter snapshot
+// (checkpoint rounds/bytes, encode batches, pool occupancy).
+type ServerStats = core.ServerStats
+
+// TransportStats is the fabric transport's fault/retry telemetry
+// (reconnects, retries, chaos injections). All zero on the simulated
+// fabric, which has no transport layer to fault.
+type TransportStats = rdma.TransportStats
 
 // Errors re-exported from the client.
 var (
@@ -79,11 +97,11 @@ type fabric interface {
 // simFabric drives the deterministic discrete-event engine.
 type simFabric struct{ pl *simnet.Platform }
 
-func (f *simFabric) platform() rdma.Platform      { return f.pl }
-func (f *simFabric) addComputeNode() rdma.NodeID  { return f.pl.AddComputeNode() }
-func (f *simFabric) advance(d time.Duration)      { f.pl.Run(f.pl.Engine().Now() + d) }
-func (f *simFabric) now() time.Duration           { return f.pl.Engine().Now() }
-func (f *simFabric) close()                       { f.pl.Shutdown() }
+func (f *simFabric) platform() rdma.Platform     { return f.pl }
+func (f *simFabric) addComputeNode() rdma.NodeID { return f.pl.AddComputeNode() }
+func (f *simFabric) advance(d time.Duration)     { f.pl.Run(f.pl.Engine().Now() + d) }
+func (f *simFabric) now() time.Duration          { return f.pl.Engine().Now() }
+func (f *simFabric) close()                      { f.pl.Shutdown() }
 func (f *simFabric) runUntil(cond func() bool) bool {
 	eng := f.pl.Engine()
 	limit := eng.Now() + time.Hour // virtual-time safety limit
@@ -253,6 +271,24 @@ func (c *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
 // RecoveryReports returns the reports of completed MN recoveries.
 func (c *Cluster) RecoveryReports() []*RecoveryReport {
 	return c.cl.Master().ReportList()
+}
+
+// Trace returns the cluster's trace events oldest-first: failure
+// detections and per-tier recovery phase timings, stamped with the
+// fabric clock.
+func (c *Cluster) Trace() []TraceEvent { return c.cl.Trace().Events() }
+
+// MNStats snapshots the management-plane counters of logical MN mn
+// (in-process; remote daemons are queried with Client.StatsMN).
+func (c *Cluster) MNStats(mn int) ServerStats { return c.cl.Server(mn).Stats() }
+
+// TransportStats returns the fabric's transport-level fault/retry
+// counters (zero on the simulated fabric).
+func (c *Cluster) TransportStats() TransportStats {
+	if src, ok := c.fab.platform().(rdma.TransportStatsSource); ok {
+		return src.TransportStats()
+	}
+	return TransportStats{}
 }
 
 // MemoryUsage scans the group's Block Areas (Figure 12 accounting).

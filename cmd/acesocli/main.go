@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -114,9 +115,23 @@ func execute(c *core.Client, fields []string) (quit bool) {
 			fmt.Println("error:", err)
 		}
 	case "stats":
-		s := c.Stats
-		fmt.Printf("ops=%d cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d\n",
-			s.Ops, s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries, s.CacheHits)
+		switch len(fields) {
+		case 1:
+			s := c.Stats
+			fmt.Printf("ops=%d (search=%d insert=%d update=%d delete=%d) cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d cacheMisses=%d degraded=%d invalidations=%d\n",
+				s.Ops, s.Searches, s.Inserts, s.Updates, s.Deletes,
+				s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries,
+				s.CacheHits, s.CacheMisses, s.DegradedReads, s.Invalidations)
+		case 2:
+			mn, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("error: mn must be an integer")
+				return
+			}
+			printMNStats(c, mn)
+		default:
+			fmt.Println("usage: stats [<mn>]")
+		}
 	case "kill":
 		if len(fields) != 2 {
 			fmt.Println("usage: kill <mn>")
@@ -162,12 +177,44 @@ func execute(c *core.Client, fields []string) (quit bool) {
 	case "quit", "exit":
 		return true
 	case "help":
-		fmt.Println("commands: get <k> | set <k> <v> | del <k> | stats | quit")
+		fmt.Println("commands: get <k> | set <k> <v> | del <k> | stats [<mn>] | quit")
+		fmt.Println("  stats        this client's local operation counters")
+		fmt.Println("  stats <mn>   memory node <mn>'s server counters over the admin RPC")
 		fmt.Println("fault injection: kill <mn> | chaos <mn> [<seed> <drop> <delay> <maxDelay> <reset>]")
 	default:
 		fmt.Println("unknown command (try: help)")
 	}
 	return false
+}
+
+// printMNStats fetches a memory node's server counters over the admin
+// Stats RPC and renders them as an aligned table.
+func printMNStats(c *core.Client, mn int) {
+	st, err := c.StatsMN(mn)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ckpt := &stats.Series{Name: "checkpoint"}
+	ckpt.Add("rounds", float64(st.CkptRounds))
+	ckpt.Add("bytes", float64(st.CkptBytes))
+	ckpt.Add("applies", float64(st.CkptApplies))
+	ckpt.Add("indexVer", float64(st.IndexVersion))
+	fmt.Print(stats.Table(fmt.Sprintf("mn%d checkpoint pipeline", st.MN), ckpt))
+	enc := &stats.Series{Name: "erasure"}
+	enc.Add("encoded", float64(st.EncodeJobs))
+	enc.Add("dropped", float64(st.EncodeDrops))
+	enc.Add("queued", float64(st.EncodeQueue))
+	enc.Add("reclaimed", float64(st.Reclaimed))
+	enc.Add("bitsApplied", float64(st.BitsApplied))
+	fmt.Print(stats.Table(fmt.Sprintf("mn%d erasure coding / reclamation", st.MN), enc))
+	pool := &stats.Series{Name: "blocks"}
+	pool.Add("total", float64(st.PoolBlocks))
+	pool.Add("free", float64(st.PoolFree))
+	pool.Add("delta", float64(st.PoolDelta))
+	pool.Add("copy", float64(st.PoolCopy))
+	pool.Add("data", float64(st.PoolData))
+	fmt.Print(stats.Table(fmt.Sprintf("mn%d delta/copy pool occupancy", st.MN), pool))
 }
 
 // parseChaos decodes "<seed> <dropProb> <delayProb> <maxDelay> <resetProb>",

@@ -28,21 +28,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
 )
 
 func main() {
 	var (
-		mn     = flag.Int("mn", 0, "this daemon's logical memory-node id")
-		peers  = flag.String("peers", "", "comma-separated listen addresses of all memory nodes, in id order")
-		master = flag.Bool("master", false, "also run the master (checkpoint trigger) in this daemon")
+		mn          = flag.Int("mn", 0, "this daemon's logical memory-node id")
+		peers       = flag.String("peers", "", "comma-separated listen addresses of all memory nodes, in id order")
+		master      = flag.Bool("master", false, "also run the master (checkpoint trigger) in this daemon")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text /metrics and /healthz on this address (e.g. :9100); empty disables")
 	)
 	cfg := core.DefaultConfig()
 	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
@@ -70,7 +73,10 @@ func main() {
 
 	pl := tcpnet.New(addrs, rdma.NodeID(*mn), true)
 	pl.SetOptions(opt)
-	cl, err := core.NewCluster(cfg, pl)
+	// Every process this daemon spawns (server daemons, master) runs
+	// with an instrumented ctx feeding the /metrics verb counters.
+	ipl := obs.Instrument(pl, obs.NewFabricMetrics())
+	cl, err := core.NewCluster(cfg, ipl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
@@ -78,6 +84,20 @@ func main() {
 	if *master {
 		cl.StartMaster()
 		log.Printf("master running (checkpoint interval %v)", cfg.CkptInterval)
+	}
+	if *metricsAddr != "" {
+		exp := &obs.Exporter{
+			Fabric:    ipl.Metrics(),
+			Transport: pl.TransportStats,
+			Gauges:    func() map[string]float64 { return serverGauges(cl.Server(*mn).Stats()) },
+			Trace:     cl.Trace(),
+		}
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", *metricsAddr)
 	}
 	log.Printf("mn%d serving on %s (%d MB pool memory, %d stripes)",
 		*mn, pl.Addr(), cl.L.MemBytes()>>20, cfg.Layout.StripeRows)
@@ -87,4 +107,25 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	pl.Close()
+}
+
+// serverGauges flattens a ServerStats snapshot into the /metrics gauge
+// map (names become aceso_<name>).
+func serverGauges(st core.ServerStats) map[string]float64 {
+	return map[string]float64{
+		"index_version":          float64(st.IndexVersion),
+		"reclaimed_blocks_total": float64(st.Reclaimed),
+		"bitmap_updates_total":   float64(st.BitsApplied),
+		"ckpt_rounds_total":      float64(st.CkptRounds),
+		"ckpt_bytes_total":       float64(st.CkptBytes),
+		"ckpt_applies_total":     float64(st.CkptApplies),
+		"encode_batches_total":   float64(st.EncodeJobs),
+		"encode_drops_total":     float64(st.EncodeDrops),
+		"encode_queue":           float64(st.EncodeQueue),
+		"pool_blocks":            float64(st.PoolBlocks),
+		"pool_blocks_free":       float64(st.PoolFree),
+		"pool_blocks_delta":      float64(st.PoolDelta),
+		"pool_blocks_copy":       float64(st.PoolCopy),
+		"pool_blocks_data":       float64(st.PoolData),
+	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock kernel-throughput comparisons can skip themselves:
+// instrumentation slows the tight XOR loops far more than the
+// table-driven RS kernel and inverts the measured ratio.
+const raceEnabled = true

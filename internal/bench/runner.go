@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fusee"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/simnet"
 	"repro/internal/stats"
@@ -38,6 +39,11 @@ type acesoRun struct {
 	cl   *core.Cluster
 	cns  []rdma.NodeID
 	opts Options
+	// fm counts the verbs issued by bench clients only: spawn wraps
+	// each client ctx, while server/master daemons run uninstrumented,
+	// so snapshot deltas give exact verbs-per-op figures (the "verbs"
+	// experiment checks them against the paper's cost model).
+	fm *obs.FabricMetrics
 }
 
 // acesoConfig sizes a cluster for the expected write volume: enough
@@ -81,7 +87,7 @@ func newAcesoRun(o Options, cfg core.Config) (*acesoRun, error) {
 	}
 	cl.StartServers()
 	cl.StartMaster()
-	r := &acesoRun{pl: pl, cl: cl, opts: o}
+	r := &acesoRun{pl: pl, cl: cl, opts: o, fm: obs.NewFabricMetrics()}
 	for i := 0; i < o.CNs; i++ {
 		r.cns = append(r.cns, pl.AddComputeNode())
 	}
@@ -93,7 +99,11 @@ func (r *acesoRun) shutdown()                  { r.pl.Shutdown() }
 
 func (r *acesoRun) spawn(i int, name string, fn func(kvClient)) {
 	cn := r.cns[i%len(r.cns)]
-	r.cl.SpawnClient(cn, name, func(c *core.Client) { fn(c) })
+	cli := r.cl.NewClient()
+	r.pl.Spawn(cn, name, func(ctx rdma.Ctx) {
+		cli.Attach(obs.WrapCtx(ctx, r.fm))
+		fn(cli)
+	})
 }
 
 // --- FUSEE runner ---

@@ -47,6 +47,63 @@ func (s *Server) handleAdminChaos(req []byte) ([]byte, time.Duration) {
 	return []byte{stOK}, time.Microsecond
 }
 
+// handleAdminStats snapshots the server's counters for the CLI /
+// monitoring surfaces. The dispatch already holds memMu.
+func (s *Server) handleAdminStats(_ []byte) ([]byte, time.Duration) {
+	st := s.statsLocked()
+	e := enc{b: []byte{stOK}}
+	e.u16(uint16(st.MN))
+	e.u64(st.IndexVersion)
+	e.u64(st.Reclaimed)
+	e.u64(st.BitsApplied)
+	e.u64(st.CkptRounds)
+	e.u64(st.CkptBytes)
+	e.u64(st.CkptApplies)
+	e.u64(st.EncodeJobs)
+	e.u64(st.EncodeDrops)
+	e.u64(st.EncodeQueue)
+	e.u64(st.PoolBlocks)
+	e.u64(st.PoolFree)
+	e.u64(st.PoolDelta)
+	e.u64(st.PoolCopy)
+	e.u64(st.PoolData)
+	return e.b, 2 * time.Microsecond
+}
+
+// StatsMN fetches the counter snapshot of logical MN mn over the admin
+// RPC (the CLI's `stats <mn>` and any remote monitor use this).
+func (c *Client) StatsMN(mn int) (ServerStats, error) {
+	var st ServerStats
+	node, ok := c.cl.view.nodeOf(mn)
+	if !ok {
+		return st, rdma.ErrNodeFailed
+	}
+	resp, err := c.ctx.RPC(node, methodAdminStats, nil)
+	if err != nil {
+		return st, err
+	}
+	if len(resp) < 1 || resp[0] != stOK {
+		return st, errRPC
+	}
+	d := dec{b: resp[1:]}
+	st.MN = int(d.u16())
+	st.IndexVersion = d.u64()
+	st.Reclaimed = d.u64()
+	st.BitsApplied = d.u64()
+	st.CkptRounds = d.u64()
+	st.CkptBytes = d.u64()
+	st.CkptApplies = d.u64()
+	st.EncodeJobs = d.u64()
+	st.EncodeDrops = d.u64()
+	st.EncodeQueue = d.u64()
+	st.PoolBlocks = d.u64()
+	st.PoolFree = d.u64()
+	st.PoolDelta = d.u64()
+	st.PoolCopy = d.u64()
+	st.PoolData = d.u64()
+	return st, nil
+}
+
 func encodeChaos(cfg rdma.ChaosConfig) []byte {
 	var e enc
 	e.u64(uint64(cfg.Seed))

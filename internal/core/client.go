@@ -52,6 +52,11 @@ type Client struct {
 // ClientStats counts notable client-side events.
 type ClientStats struct {
 	Ops           uint64
+	Searches      uint64
+	Inserts       uint64
+	Updates       uint64
+	Deletes       uint64
+	Invalidations uint64
 	CASRetries    uint64
 	LockWaits     uint64
 	DegradedReads uint64
@@ -166,6 +171,7 @@ func (c *Client) waitIndexReady(mn int) {
 // Search returns the value of key, or ErrNotFound.
 func (c *Client) Search(key []byte) ([]byte, error) {
 	c.Stats.Ops++
+	c.Stats.Searches++
 	h := racehash.Hash(key)
 	mn := racehash.HomeMN(h, c.cl.Cfg.Layout.NumMNs)
 	fp := racehash.Fingerprint(h)
@@ -462,15 +468,24 @@ func (c *Client) waitBlocksAndRead(buf []byte, mn int, off uint64) error {
 // --- writes (INSERT / UPDATE / DELETE) ---
 
 // Insert stores the key-value pair (upserting if present).
-func (c *Client) Insert(key, val []byte) error { return c.write(key, val, false) }
+func (c *Client) Insert(key, val []byte) error {
+	c.Stats.Inserts++
+	return c.write(key, val, false)
+}
 
 // Update overwrites the value of key (upserting if absent).
-func (c *Client) Update(key, val []byte) error { return c.write(key, val, false) }
+func (c *Client) Update(key, val []byte) error {
+	c.Stats.Updates++
+	return c.write(key, val, false)
+}
 
 // Delete removes key by committing a tombstone KV pair (a zero-length
 // value "used solely for logging", §4.2). It returns ErrNotFound when
 // the key is absent.
-func (c *Client) Delete(key []byte) error { return c.write(key, nil, true) }
+func (c *Client) Delete(key []byte) error {
+	c.Stats.Deletes++
+	return c.write(key, nil, true)
+}
 
 // write implements Algorithm 1 (slot versioning) around the
 // out-of-place write path: place the new KV and its deltas, then
@@ -632,6 +647,7 @@ func (c *Client) invalidateKV(p placedKV) {
 	if len(p.inv) == 0 {
 		return
 	}
+	c.Stats.Invalidations++
 	c.Stats.WritesIssued += uint64(len(p.inv))
 	c.ctx.Post(p.inv) //nolint:errcheck // best effort
 }

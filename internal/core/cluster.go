@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -25,6 +26,7 @@ type Cluster struct {
 	view    view
 	servers []*Server
 	master  *Master
+	trace   *obs.Ring
 
 	mu      sync.Mutex
 	nextCli uint16
@@ -81,7 +83,7 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Cfg: cfg, L: l, pl: pl}
+	cl := &Cluster{Cfg: cfg, L: l, pl: pl, trace: obs.NewRing(1024)}
 	cl.code, err = cfg.newCode()
 	if err != nil {
 		return nil, err
@@ -164,6 +166,11 @@ func (cl *Cluster) MNNode(mn int) rdma.NodeID {
 
 // Master returns the cluster's master (nil before StartMaster).
 func (cl *Cluster) Master() *Master { return cl.master }
+
+// Trace returns the cluster's bounded trace ring: failure detections,
+// checkpoint rounds and per-tier recovery phase timings, stamped with
+// the fabric clock of the emitting process.
+func (cl *Cluster) Trace() *obs.Ring { return cl.trace }
 
 // Reclaimed returns the total count of blocks handed out through
 // delta-based reclamation across all servers.

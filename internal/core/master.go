@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -87,6 +89,8 @@ func (m *Master) recoveryLoop(ctx rdma.Ctx) {
 		spare := m.spares[0]
 		m.spares = m.spares[1:]
 		m.mu.Unlock()
+		m.cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "fail.detect", MN: mn,
+			Note: fmt.Sprintf("recovering onto node %d", spare)})
 		if m.cl.pl.Memory(spare) == nil {
 			// The spare itself died while idle; try the next one.
 			m.mu.Lock()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/racehash"
 	"repro/internal/rdma"
 )
@@ -63,6 +64,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 		}
 	}
 	rep.ReadMeta = ctx.Now() - start
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.meta", MN: mn, Dur: rep.ReadMeta})
 	reconcileDeltaRecords(cl, mn, mem)
 
 	// --- Tier 2: Index Area ---
@@ -86,6 +88,8 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	rep.CkptVersion = ckptVer
 	binary.LittleEndian.PutUint64(mem[l.IndexVersionOff():], ckptVer+1)
 	rep.ReadCkpt = ctx.Now() - t
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.ckpt", MN: mn, Dur: rep.ReadCkpt,
+		Note: fmt.Sprintf("version=%d", ckptVer)})
 
 	// Classify this MN's blocks from the recovered records.
 	var newLocal, oldLocal []int
@@ -108,6 +112,8 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	recoverBlocks(ctx, cl, mn, newLocal, recovered)
 	rep.LBlockCount = len(newLocal)
 	rep.RecoverLBlock = ctx.Now() - t
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.lblocks", MN: mn, Dur: rep.RecoverLBlock,
+		Note: fmt.Sprintf("blocks=%d", rep.LBlockCount)})
 
 	// Read new remote blocks.
 	t = ctx.Now()
@@ -167,6 +173,8 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	}
 	rep.RBlockCount = len(remotes)
 	rep.ReadRBlock = ctx.Now() - t
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.rblocks", MN: mn, Dur: rep.ReadRBlock,
+		Note: fmt.Sprintf("blocks=%d", rep.RBlockCount)})
 	if abandoned() {
 		return nil
 	}
@@ -231,6 +239,8 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 		reapplyCandidate(ctx, cl, mn, mem, []byte(keyStr), cand.version, cand.packed, cand.class, scanned, recovered)
 	}
 	rep.ScanKV = ctx.Now() - t
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.scan", MN: mn, Dur: rep.ScanKV,
+		Note: fmt.Sprintf("kvs=%d", rep.KVCount)})
 
 	if abandoned() {
 		return nil
@@ -250,6 +260,8 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	cl.view.epoch++
 	cl.view.mu.Unlock()
 	rep.IndexDone = ctx.Now() - start
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.index_ready", MN: mn, Dur: rep.IndexDone,
+		Note: "tier 2 complete: writes full speed, reads degraded"})
 
 	// --- Tier 3: Block Area (old data blocks, then parity blocks) ---
 	t = ctx.Now()
@@ -272,12 +284,15 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 		}
 	}
 	rep.RecoverOldLBlock = ctx.Now() - t
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.tier3", MN: mn, Dur: rep.RecoverOldLBlock,
+		Note: fmt.Sprintf("old-blocks=%d", rep.OldLBlockCount)})
 
 	cl.view.mu.Lock()
 	cl.view.blocksReady[mn] = true
 	cl.view.epoch++
 	cl.view.mu.Unlock()
 	rep.Total = ctx.Now() - start
+	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.done", MN: mn, Dur: rep.Total})
 	return rep
 }
 

@@ -46,6 +46,13 @@ type Server struct {
 	reclaimed int
 	// bitsApplied counts accepted free-bitmap updates (observability).
 	bitsApplied int
+	// Checkpoint/encode pipeline counters (observability; guarded by
+	// mu like the queues they describe).
+	ckptRounds  uint64 // differential checkpoint rounds shipped
+	ckptBytes   uint64 // compressed checkpoint payload bytes produced
+	ckptApplies uint64 // staged checkpoint deltas applied to hosted copies
+	encodeJobs  uint64 // DELTA blocks folded into the local parity
+	encodeDrops uint64 // DELTA blocks discarded without encoding
 }
 
 type encodeJob struct {
@@ -159,6 +166,70 @@ func (s *Server) freeDataRowFrac() float64 {
 	return float64(free) / float64(len(s.dataRows))
 }
 
+// ServerStats is a snapshot of one MN server's management-plane
+// counters and pool occupancy: the store-level gauges the admin Stats
+// RPC and the daemon's /metrics endpoint expose.
+type ServerStats struct {
+	MN           int
+	IndexVersion uint64
+	Reclaimed    uint64 // blocks handed out through delta-based reclamation
+	BitsApplied  uint64 // accepted free-bitmap updates
+	CkptRounds   uint64 // differential checkpoint rounds shipped
+	CkptBytes    uint64 // compressed checkpoint payload bytes produced
+	CkptApplies  uint64 // staged checkpoint deltas applied to hosted copies
+	EncodeJobs   uint64 // DELTA blocks folded into the local parity
+	EncodeDrops  uint64 // DELTA blocks discarded without encoding
+	EncodeQueue  uint64 // encode jobs currently queued
+	PoolBlocks   uint64 // delta/copy pool blocks total
+	PoolFree     uint64 // pool blocks currently FREE
+	PoolDelta    uint64 // pool blocks currently DELTA
+	PoolCopy     uint64 // pool blocks currently COPY (reclamation backups)
+	PoolData     uint64 // pool blocks serving as reclaimed DATA
+}
+
+// Stats snapshots the server's counters and scans pool occupancy. On a
+// server that was never started (no local memory, e.g. a remote MN seen
+// from a client process) only the MN id is filled.
+func (s *Server) Stats() ServerStats {
+	if s.memMu == nil || s.mem == nil {
+		return ServerStats{MN: s.mn}
+	}
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked is Stats for callers already holding memMu (the RPC
+// dispatch locks it around every handler).
+func (s *Server) statsLocked() ServerStats {
+	l := s.cl.L
+	st := ServerStats{MN: s.mn, IndexVersion: s.indexVersion()}
+	for b := l.Cfg.StripeRows; b < l.Cfg.BlocksPerMN(); b++ {
+		st.PoolBlocks++
+		switch s.record(b).Role {
+		case layout.RoleFree:
+			st.PoolFree++
+		case layout.RoleDelta:
+			st.PoolDelta++
+		case layout.RoleCopy:
+			st.PoolCopy++
+		case layout.RoleData:
+			st.PoolData++
+		}
+	}
+	s.mu.Lock()
+	st.Reclaimed = uint64(s.reclaimed)
+	st.BitsApplied = uint64(s.bitsApplied)
+	st.CkptRounds = s.ckptRounds
+	st.CkptBytes = s.ckptBytes
+	st.CkptApplies = s.ckptApplies
+	st.EncodeJobs = s.encodeJobs
+	st.EncodeDrops = s.encodeDrops
+	st.EncodeQueue = uint64(len(s.encodeQ))
+	s.mu.Unlock()
+	return st
+}
+
 // --- RPC dispatch ---
 
 func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
@@ -189,6 +260,8 @@ func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
 		return s.handleAdminFail(req)
 	case methodAdminChaos:
 		return s.handleAdminChaos(req)
+	case methodAdminStats:
+		return s.handleAdminStats(req)
 	}
 	return []byte{stBadArg}, time.Microsecond
 }
@@ -544,6 +617,9 @@ func (s *Server) encodeOne(job encodeJob) time.Duration {
 		s.cl.code.UpdateOne(int(prec.ParityIdx), parity, int(job.xorID), 0, delta)
 		prec.XORMap |= 1 << job.xorID
 		cost += cpuTime(2*len(delta), s.cl.Cfg.Rates.codeRate(s.cl.Cfg.Code))
+		s.encodeJobs++
+	} else {
+		s.encodeDrops++
 	}
 	prec.DeltaAddr[job.xorID] = 0
 	s.putRecord(int(job.stripe), &prec)
@@ -592,6 +668,10 @@ func (s *Server) ckptSendLoop(ctx rdma.Ctx) {
 			payload = comp
 		}
 		last, snap = snap, last
+		s.mu.Lock()
+		s.ckptRounds++
+		s.ckptBytes += uint64(len(payload))
+		s.mu.Unlock()
 		// ③ ship to each host and notify.
 		for h := 0; h < l.Cfg.CkptHosts; h++ {
 			host := l.CkptHostOf(s.mn, h)
@@ -660,6 +740,9 @@ func (s *Server) ckptRecvLoop(ctx rdma.Ctx) {
 				copy(hosted, staging)
 				binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
 				s.memMu.Unlock()
+				s.mu.Lock()
+				s.ckptApplies++
+				s.mu.Unlock()
 				ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
 				continue
 			}
@@ -674,6 +757,9 @@ func (s *Server) ckptRecvLoop(ctx rdma.Ctx) {
 			erasure.XorInto(hosted, deltaBuf)
 			binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
 			s.memMu.Unlock()
+			s.mu.Lock()
+			s.ckptApplies++
+			s.mu.Unlock()
 			ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
 		}
 	}

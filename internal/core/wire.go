@@ -49,6 +49,9 @@ const (
 	// methodAdminChaos installs a rdma.ChaosConfig on this MN's fabric
 	// node (probabilistic drop/delay/reset injection).
 	methodAdminChaos
+	// methodAdminStats returns the MN server's counter snapshot
+	// (ServerStats) for the CLI and monitoring surfaces.
+	methodAdminStats
 )
 
 // RPC status codes.

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// histShards trades merge cost against Record contention. Eight shards
+// keep the hot path to one uncontended mutex for typical client counts
+// while a Snapshot still merges in microseconds.
+const histShards = 8
+
+// LockedHistogram is a sharded, mutex-guarded wrapper around
+// stats.Histogram, safe for concurrent Record calls from many client
+// processes. stats.Histogram itself is deliberately unsynchronised
+// (single-threaded measurement loops pay nothing); this wrapper is the
+// concurrent entry point the observability layer uses.
+//
+// The zero value is ready to use.
+type LockedHistogram struct {
+	shards [histShards]histShard
+	next   atomic.Uint32
+}
+
+type histShard struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+	_  [4]uint64 // pad to reduce false sharing between shards
+}
+
+// Record adds one sample. Shards are picked round-robin so no single
+// mutex serialises all recorders.
+func (l *LockedHistogram) Record(d time.Duration) {
+	s := &l.shards[l.next.Add(1)%histShards]
+	s.mu.Lock()
+	if s.h == nil {
+		s.h = stats.NewHistogram()
+	}
+	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// Snapshot merges all shards into a freshly allocated, unsynchronised
+// stats.Histogram the caller owns.
+func (l *LockedHistogram) Snapshot() *stats.Histogram {
+	out := stats.NewHistogram()
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		if s.h != nil {
+			out.Merge(s.h)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

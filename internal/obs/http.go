@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/rdma"
+)
+
+// Exporter serves /metrics (Prometheus text exposition format,
+// hand-rendered — no client library dependency) and /healthz. All
+// fields are optional; nil sources are skipped.
+type Exporter struct {
+	// Fabric supplies verb-level counters (usually the daemon's
+	// instrumented platform metrics).
+	Fabric *FabricMetrics
+	// Transport supplies fabric transport counters (retries,
+	// reconnects, chaos injections).
+	Transport func() rdma.TransportStats
+	// Gauges supplies store-level gauges by metric name (without the
+	// "aceso_" prefix), e.g. "ckpt_rounds_total" -> 12.
+	Gauges func() map[string]float64
+	// Trace supplies the trace ring for the event-count metric.
+	Trace *Ring
+	// Healthy reports daemon liveness for /healthz (nil means always
+	// healthy).
+	Healthy func() bool
+}
+
+// Handler returns the HTTP mux serving /metrics and /healthz.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.serveMetrics)
+	mux.HandleFunc("/healthz", e.serveHealthz)
+	return mux
+}
+
+func (e *Exporter) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if e.Healthy != nil && !e.Healthy() {
+		http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (e *Exporter) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WriteProm(w)
+}
+
+// WriteProm renders every metric in Prometheus text format.
+func (e *Exporter) WriteProm(w io.Writer) {
+	if e.Fabric != nil {
+		s := e.Fabric.Snapshot()
+		header(w, "aceso_verb_calls_total", "counter", "Verb-surface invocations (one doorbell each; rpc rides the two-sided channel).")
+		for c := CallRead; c < NumCalls; c++ {
+			fmt.Fprintf(w, "aceso_verb_calls_total{call=%q} %d\n", c, s.Calls[c].Count)
+		}
+		header(w, "aceso_verb_errors_total", "counter", "Verb-surface invocations that returned an error.")
+		for c := CallRead; c < NumCalls; c++ {
+			fmt.Fprintf(w, "aceso_verb_errors_total{call=%q} %d\n", c, s.Calls[c].Errors)
+		}
+		header(w, "aceso_verb_node_failed_total", "counter", "Verb-surface invocations that surfaced ErrNodeFailed.")
+		for c := CallRead; c < NumCalls; c++ {
+			fmt.Fprintf(w, "aceso_verb_node_failed_total{call=%q} %d\n", c, s.Calls[c].NodeFailed)
+		}
+		header(w, "aceso_ops_total", "counter", "Executed one-sided operations by kind (singletons plus batch/post entries).")
+		for k := rdma.OpRead; k <= rdma.OpFAA; k++ {
+			fmt.Fprintf(w, "aceso_ops_total{kind=%q} %d\n", OpKindName(k), s.Ops[k].Count)
+		}
+		header(w, "aceso_op_bytes_total", "counter", "Bytes moved by one-sided operations (8 per atomic).")
+		for k := rdma.OpRead; k <= rdma.OpFAA; k++ {
+			fmt.Fprintf(w, "aceso_op_bytes_total{kind=%q} %d\n", OpKindName(k), s.Ops[k].Bytes)
+		}
+		header(w, "aceso_doorbells_total", "counter", "Doorbells posted (one per verb-surface call).")
+		fmt.Fprintf(w, "aceso_doorbells_total %d\n", s.Doorbells())
+		header(w, "aceso_rpc_bytes_total", "counter", "Request plus response bytes over the two-sided RPC channel.")
+		fmt.Fprintf(w, "aceso_rpc_bytes_total %d\n", s.RPCBytes)
+		header(w, "aceso_verb_latency_seconds", "gauge", "Verb latency summary by call kind and statistic.")
+		for c := CallRead; c < NumCalls; c++ {
+			l := e.Fabric.Latency(c)
+			if l.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "aceso_verb_latency_seconds{call=%q,stat=\"mean\"} %g\n", c, l.Mean.Seconds())
+			fmt.Fprintf(w, "aceso_verb_latency_seconds{call=%q,stat=\"p50\"} %g\n", c, l.P50.Seconds())
+			fmt.Fprintf(w, "aceso_verb_latency_seconds{call=%q,stat=\"p99\"} %g\n", c, l.P99.Seconds())
+			fmt.Fprintf(w, "aceso_verb_latency_seconds{call=%q,stat=\"max\"} %g\n", c, l.Max.Seconds())
+		}
+	}
+	if e.Transport != nil {
+		t := e.Transport()
+		header(w, "aceso_transport_dials_total", "counter", "TCP connections established (first dials and reconnects).")
+		fmt.Fprintf(w, "aceso_transport_dials_total %d\n", t.Dials)
+		header(w, "aceso_transport_redials_total", "counter", "Reconnects of a previously working connection.")
+		fmt.Fprintf(w, "aceso_transport_redials_total %d\n", t.Redials)
+		header(w, "aceso_transport_retries_total", "counter", "Verb/RPC attempts repeated after a transport fault.")
+		fmt.Fprintf(w, "aceso_transport_retries_total %d\n", t.Retries)
+		header(w, "aceso_transport_node_failures_total", "counter", "Operations that exhausted the retry budget or hit a failed node.")
+		fmt.Fprintf(w, "aceso_transport_node_failures_total %d\n", t.NodeFailures)
+		header(w, "aceso_chaos_injections_total", "counter", "Chaos faults injected on nodes this process serves.")
+		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"drop\"} %d\n", t.ChaosDrops)
+		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"delay\"} %d\n", t.ChaosDelays)
+		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"reset\"} %d\n", t.ChaosResets)
+	}
+	if e.Gauges != nil {
+		g := e.Gauges()
+		names := make([]string, 0, len(g))
+		for name := range g {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			header(w, "aceso_"+name, "gauge", "Store-level gauge.")
+			fmt.Fprintf(w, "aceso_%s %g\n", name, g[name])
+		}
+	}
+	if e.Trace != nil {
+		header(w, "aceso_trace_events_total", "counter", "Trace events emitted to the ring buffer.")
+		fmt.Fprintf(w, "aceso_trace_events_total %d\n", e.Trace.Total())
+	}
+}
+
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record: a point or phase on the
+// cluster's timeline, stamped with the fabric clock (virtual time on
+// simnet, wall time since process start on tcpnet).
+type Event struct {
+	// At is the fabric timestamp of the event (phase end for events
+	// with a duration).
+	At time.Duration
+	// Kind names the event, dot-scoped by subsystem: "fail.inject",
+	// "chaos.install", "ckpt.round", "recovery.meta",
+	// "recovery.index", "recovery.blocks", "recovery.done".
+	Kind string
+	// MN is the logical memory-node id the event concerns, -1 when it
+	// is cluster-wide.
+	MN int
+	// Dur is the phase duration for phase events, 0 for point events.
+	Dur time.Duration
+	// Note carries free-form detail (byte counts, epoch numbers).
+	Note string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%12v  %-20s", e.At, e.Kind)
+	if e.MN >= 0 {
+		s += fmt.Sprintf(" mn%d", e.MN)
+	}
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" took=%v", e.Dur)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Ring is a bounded, mutex-guarded trace buffer: the newest capacity
+// events are kept, older ones are overwritten. Emit is cheap enough to
+// call from recovery and checkpoint paths; readers copy out.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event, overwriting the oldest once full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted (retained or not).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

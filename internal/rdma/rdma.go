@@ -222,6 +222,51 @@ type FaultInjector interface {
 	SetChaos(node NodeID, cfg ChaosConfig)
 }
 
+// TransportStats is a snapshot of the fault/retry machinery inside a
+// fabric's transport layer: work that happens below the Verbs surface
+// (transparent reconnects, per-verb retries, chaos injections) and is
+// therefore invisible to any wrapper around Verbs. Fabrics without a
+// given mechanism leave its counters zero.
+type TransportStats struct {
+	// Dials counts TCP connections established (first dials and
+	// reconnects after a drop).
+	Dials uint64
+	// Redials counts only re-establishments of a previously working
+	// connection (a subset of Dials).
+	Redials uint64
+	// Retries counts verb/RPC attempts repeated after a transport
+	// fault (timeout, reset, dial failure) within the retry budget.
+	Retries uint64
+	// NodeFailures counts operations that exhausted the retry budget
+	// or targeted a known-failed node and surfaced ErrNodeFailed.
+	NodeFailures uint64
+	// ChaosDrops, ChaosDelays and ChaosResets count faults injected by
+	// an installed ChaosConfig on nodes this process serves.
+	ChaosDrops  uint64
+	ChaosDelays uint64
+	ChaosResets uint64
+}
+
+// Add accumulates other into s.
+func (s *TransportStats) Add(other TransportStats) {
+	s.Dials += other.Dials
+	s.Redials += other.Redials
+	s.Retries += other.Retries
+	s.NodeFailures += other.NodeFailures
+	s.ChaosDrops += other.ChaosDrops
+	s.ChaosDelays += other.ChaosDelays
+	s.ChaosResets += other.ChaosResets
+}
+
+// TransportStatsSource is implemented by fabrics that maintain
+// transport-level counters. Observability layers type-assert a
+// Platform to reach it, exactly like FaultInjector.
+type TransportStatsSource interface {
+	// TransportStats returns a consistent-enough snapshot of the
+	// counters (individual fields are read atomically).
+	TransportStats() TransportStats
+}
+
 // NopLocker is a no-op sync.Locker for fabrics whose scheduling
 // already serialises memory access.
 type NopLocker struct{}

@@ -1,0 +1,63 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// TestTransportStatsUnderChaos repeats the exactly-once FAA hammer of
+// TestChaosFAAExact and checks the transport telemetry saw the faults:
+// chaos injections and retries are counted, resets forced redials, and
+// the counter still lands on the exact total (no fault was double- or
+// under-applied while being counted).
+func TestTransportStatsUnderChaos(t *testing.T) {
+	pl := NewGroup()
+	o := testOptions()
+	o.OpTimeout = 50 * time.Millisecond
+	pl.SetOptions(o)
+	id := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 16})
+	defer pl.Close()
+	pl.SetChaos(id, rdma.ChaosConfig{
+		Seed:      42,
+		DropProb:  0.08,
+		DelayProb: 0.2,
+		MaxDelay:  time.Millisecond,
+		ResetProb: 0.08,
+	})
+
+	v := newVerbs(pl)
+	const incs = 150
+	for i := 0; i < incs; i++ {
+		if _, err := v.FAA(rdma.GlobalAddr{Node: id, Off: 0}, 1); err != nil {
+			t.Fatalf("faa %d under chaos: %v", i, err)
+		}
+	}
+	pl.SetChaos(id, rdma.ChaosConfig{}) // clear
+	buf := make([]byte, 8)
+	if err := v.Read(buf, rdma.GlobalAddr{Node: id, Off: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != incs {
+		t.Fatalf("counter = %d, want %d (chaos double- or under-applied)", got, incs)
+	}
+
+	st := pl.TransportStats()
+	if st.ChaosDrops+st.ChaosDelays+st.ChaosResets == 0 {
+		t.Fatalf("no chaos injections counted: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("chaos run recorded no transport retries: %+v", st)
+	}
+	if st.Dials == 0 {
+		t.Fatalf("no dials counted: %+v", st)
+	}
+	if st.ChaosResets > 0 && st.Redials == 0 {
+		t.Fatalf("connection resets without redials: %+v", st)
+	}
+	if st.NodeFailures != 0 {
+		t.Fatalf("healthy-but-chaotic node declared failed %d times: %+v", st.NodeFailures, st)
+	}
+}

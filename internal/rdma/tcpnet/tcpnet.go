@@ -41,6 +41,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rdma"
@@ -139,12 +140,15 @@ func (n *memNode) chaosRoll() (delay time.Duration, drop, reset bool) {
 	c := &n.chaos
 	if c.DelayProb > 0 && c.MaxDelay > 0 && n.rng.Float64() < c.DelayProb {
 		delay = time.Duration(n.rng.Int63n(int64(c.MaxDelay))) + 1
+		n.pl.ctr.chaosDelays.Add(1)
 	}
 	if c.ResetProb > 0 && n.rng.Float64() < c.ResetProb {
+		n.pl.ctr.chaosResets.Add(1)
 		return delay, false, true
 	}
 	if c.DropProb > 0 && n.rng.Float64() < c.DropProb {
 		drop = true
+		n.pl.ctr.chaosDrops.Add(1)
 	}
 	return delay, drop, false
 }
@@ -165,12 +169,43 @@ type Platform struct {
 	maxMem  uint64 // largest registered region (frame clamp)
 	nodes   map[rdma.NodeID]*memNode
 	failed  map[rdma.NodeID]bool
+
+	ctr transportCounters
+}
+
+// transportCounters holds the platform's fault/retry telemetry. All
+// fields are atomics: they are bumped from every client goroutine and
+// from served nodes' accept loops.
+type transportCounters struct {
+	dials        atomic.Uint64
+	redials      atomic.Uint64
+	retries      atomic.Uint64
+	nodeFailures atomic.Uint64
+	chaosDrops   atomic.Uint64
+	chaosDelays  atomic.Uint64
+	chaosResets  atomic.Uint64
 }
 
 var (
-	_ rdma.Platform      = (*Platform)(nil)
-	_ rdma.FaultInjector = (*Platform)(nil)
+	_ rdma.Platform             = (*Platform)(nil)
+	_ rdma.FaultInjector        = (*Platform)(nil)
+	_ rdma.TransportStatsSource = (*Platform)(nil)
 )
+
+// TransportStats implements rdma.TransportStatsSource: a snapshot of
+// the retry/reconnect/chaos counters accumulated by every verbs
+// instance and served node of this platform since creation.
+func (pl *Platform) TransportStats() rdma.TransportStats {
+	return rdma.TransportStats{
+		Dials:        pl.ctr.dials.Load(),
+		Redials:      pl.ctr.redials.Load(),
+		Retries:      pl.ctr.retries.Load(),
+		NodeFailures: pl.ctr.nodeFailures.Load(),
+		ChaosDrops:   pl.ctr.chaosDrops.Load(),
+		ChaosDelays:  pl.ctr.chaosDelays.Load(),
+		ChaosResets:  pl.ctr.chaosResets.Load(),
+	}
+}
 
 // New creates a platform for one process of a multi-process cluster.
 // memAddrs lists every memory node's address in logical order; local is
@@ -653,6 +688,9 @@ func isTransient(err error) bool { return errors.Is(err, errTransient) }
 type verbs struct {
 	pl    *Platform
 	conns map[rdma.NodeID]*nodeConn
+	// dialed remembers nodes this instance connected to at least once,
+	// so a later dial is counted as a reconnect.
+	dialed map[rdma.NodeID]bool
 }
 
 type nodeConn struct {
@@ -664,7 +702,7 @@ type nodeConn struct {
 }
 
 func newVerbs(pl *Platform) *verbs {
-	return &verbs{pl: pl, conns: make(map[rdma.NodeID]*nodeConn)}
+	return &verbs{pl: pl, conns: make(map[rdma.NodeID]*nodeConn), dialed: make(map[rdma.NodeID]bool)}
 }
 
 // conn returns the live connection to node, dialing once if needed.
@@ -691,6 +729,11 @@ func (v *verbs) conn(node rdma.NodeID) (*nodeConn, error) {
 	if err != nil {
 		return nil, transient(err)
 	}
+	pl.ctr.dials.Add(1)
+	if v.dialed[node] {
+		pl.ctr.redials.Add(1)
+	}
+	v.dialed[node] = true
 	nc := &nodeConn{c: c, br: bufio.NewReaderSize(c, 1<<16), bw: bufio.NewWriterSize(c, 1<<16)}
 	v.conns[node] = nc
 	return nc, nil
@@ -877,8 +920,12 @@ func (v *verbs) run(ops []*rdma.Op) {
 		v.attempt(pending, o)
 		retry := pending[:0]
 		for _, op := range pending {
-			if op.Err != nil && isTransient(op.Err) {
+			switch {
+			case op.Err == nil:
+			case isTransient(op.Err):
 				retry = append(retry, op)
+			case errors.Is(op.Err, rdma.ErrNodeFailed):
+				v.pl.ctr.nodeFailures.Add(1)
 			}
 		}
 		if len(retry) == 0 {
@@ -888,8 +935,10 @@ func (v *verbs) run(ops []*rdma.Op) {
 			for _, op := range retry {
 				op.Err = fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, op.Err)
 			}
+			v.pl.ctr.nodeFailures.Add(uint64(len(retry)))
 			return
 		}
+		v.pl.ctr.retries.Add(uint64(len(retry)))
 		time.Sleep(backoff)
 		backoff *= 2
 		if backoff > o.BackoffMax {
@@ -960,11 +1009,16 @@ func (v *verbs) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) 
 	for {
 		resp, err := v.rpcOnce(node, payload, o)
 		if err == nil || !isTransient(err) {
+			if err != nil && errors.Is(err, rdma.ErrNodeFailed) {
+				v.pl.ctr.nodeFailures.Add(1)
+			}
 			return resp, err
 		}
 		if !time.Now().Before(deadline) {
+			v.pl.ctr.nodeFailures.Add(1)
 			return nil, fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, err)
 		}
+		v.pl.ctr.retries.Add(1)
 		time.Sleep(backoff)
 		backoff *= 2
 		if backoff > o.BackoffMax {

@@ -14,6 +14,12 @@ import (
 // Histogram is a log-bucketed latency histogram: buckets grow
 // geometrically (~4% width), giving <5% percentile error over
 // nanoseconds to minutes with a few hundred buckets.
+//
+// A Histogram is NOT safe for concurrent use: Record and Merge mutate
+// unsynchronised state. Single-threaded measurement loops (the bench
+// harness, simnet processes) use it directly; concurrent recorders
+// must wrap it — obs.LockedHistogram provides a sharded, mutex-guarded
+// wrapper for exactly that purpose.
 type Histogram struct {
 	counts []uint64
 	total  uint64
@@ -45,7 +51,8 @@ func bucketOf(d time.Duration) int {
 	return b
 }
 
-// Record adds one sample.
+// Record adds one sample. Not safe for concurrent use (see the type
+// comment).
 func (h *Histogram) Record(d time.Duration) {
 	h.counts[bucketOf(d)]++
 	h.total++
@@ -58,7 +65,8 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 }
 
-// Merge folds other into h.
+// Merge folds other into h. Neither histogram may be concurrently
+// recorded into during the merge (see the type comment).
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {
 		h.counts[i] += c
@@ -77,6 +85,17 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
 
 // Mean returns the mean latency.
 func (h *Histogram) Mean() time.Duration {
@@ -99,8 +118,27 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	for b, c := range h.counts {
 		cum += c
 		if cum > target {
-			// Upper edge of the bucket.
-			return time.Duration(math.Pow(histBase, float64(b+1)))
+			// Interpolate by rank within the bucket rather than
+			// returning the raw upper edge: bucket 0 spans [0, base)
+			// and would otherwise report ~1ns for any sub-nanosecond
+			// sample, and wide upper buckets would bias high.
+			lo := 0.0
+			if b > 0 {
+				lo = math.Pow(histBase, float64(b))
+			}
+			hi := math.Pow(histBase, float64(b+1))
+			before := cum - c
+			frac := (float64(target-before) + 0.5) / float64(c)
+			v := time.Duration(lo + frac*(hi-lo))
+			// The true extremes are tracked exactly; clamp so the
+			// estimate never leaves the observed range.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
 		}
 	}
 	return h.max
@@ -108,8 +146,8 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 
 // String renders a compact summary.
 func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
-		h.total, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.max)
+	return fmt.Sprintf("n=%d mean=%v min=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Min(), h.Percentile(0.50), h.Percentile(0.99), h.max)
 }
 
 // Throughput converts an operation count over a window to million

@@ -65,6 +65,47 @@ func TestHistogramEmpty(t *testing.T) {
 	if h.Percentile(0.5) != 0 || h.Mean() != 0 {
 		t.Fatal("empty histogram not zero")
 	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram min/max not zero")
+	}
+}
+
+func TestHistogramMinMaxClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Record(3 * time.Microsecond)
+	h.Record(9 * time.Microsecond)
+	if h.Min() != 3*time.Microsecond || h.Max() != 9*time.Microsecond {
+		t.Fatalf("min/max = %v/%v, want 3µs/9µs", h.Min(), h.Max())
+	}
+	// Percentiles interpolate within buckets but never escape the
+	// observed range.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		p := h.Percentile(q)
+		if p < h.Min() || p > h.Max() {
+			t.Fatalf("q=%v: %v outside [%v, %v]", q, p, h.Min(), h.Max())
+		}
+	}
+	if !strings.Contains(h.String(), "min=3µs") {
+		t.Fatalf("String() missing min: %s", h.String())
+	}
+}
+
+func TestHistogramPercentileInterpolates(t *testing.T) {
+	// Uniform 1..1000µs: nearby quantiles often share a log bucket
+	// (4% wide), so without within-bucket interpolation they snap to
+	// the same edge value. With it, they are strictly increasing.
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	prev := h.Percentile(0.50)
+	for q := 0.51; q < 0.61; q += 0.01 {
+		p := h.Percentile(q)
+		if p <= prev {
+			t.Fatalf("q=%.2f: %v <= previous %v; quantiles snapped to a bucket edge", q, p, prev)
+		}
+		prev = p
+	}
 }
 
 func TestThroughput(t *testing.T) {
