@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -87,5 +88,41 @@ func main() {
 			}
 			f.Close()
 		}
+		// Experiments with a machine-readable summary always emit their
+		// artifacts (results/<id>.csv + BENCH_<id>.json), so perf runs
+		// leave a benchstat-style record without extra flags.
+		if res.Summary != nil {
+			if err := writeSummary(res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+func writeSummary(res *bench.Result) error {
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join("results", res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"id":      res.ID,
+		"title":   res.Title,
+		"summary": res.Summary,
+		"notes":   res.Notes,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+res.ID+".json", append(blob, '\n'), 0o644)
 }

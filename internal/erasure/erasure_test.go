@@ -2,6 +2,7 @@ package erasure
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -313,4 +314,45 @@ func BenchmarkReconstruct2Xor(b *testing.B) {
 func BenchmarkReconstruct2RS(b *testing.B) {
 	c, _ := NewRS(3, 2)
 	benchReconstruct(b, c, 2<<20)
+}
+
+// benchUpdate measures delta-fold throughput: the §3.3.3 path where a
+// client writes one KV and each parity node folds delta = old⊕new in.
+func benchUpdate(b *testing.B, c Code, blockSize, deltaSize int) {
+	_, parity, _ := makeStripe(c, blockSize, 2)
+	delta := make([]byte, deltaSize)
+	rand.New(rand.NewSource(3)).Read(delta)
+	b.SetBytes(int64(deltaSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Update(parity, 1, 0, delta)
+	}
+}
+
+func BenchmarkUpdateXor(b *testing.B) {
+	c, _ := NewXor(3)
+	benchUpdate(b, c, 2<<20, 4096)
+}
+
+func BenchmarkUpdateRS(b *testing.B) {
+	c, _ := NewRS(3, 2)
+	benchUpdate(b, c, 2<<20, 4096)
+}
+
+// BenchmarkXorBytes pins the raw XOR kernel across the sizes the code
+// actually sees: sub-word tails, one cache line, a typical KV delta,
+// and a full 2 MiB block segment.
+func BenchmarkXorBytes(b *testing.B) {
+	for _, n := range []int{16, 64, 4096, 2 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dst := make([]byte, n)
+			src := make([]byte, n)
+			rand.New(rand.NewSource(4)).Read(src)
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				xorBytes(dst, src)
+			}
+		})
+	}
 }

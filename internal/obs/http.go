@@ -105,6 +105,20 @@ func (e *Exporter) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"drop\"} %d\n", t.ChaosDrops)
 		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"delay\"} %d\n", t.ChaosDelays)
 		fmt.Fprintf(w, "aceso_chaos_injections_total{fault=\"reset\"} %d\n", t.ChaosResets)
+		header(w, "aceso_transport_open_conns", "gauge", "Open fabric connections (striped client conns plus accepted server conns).")
+		fmt.Fprintf(w, "aceso_transport_open_conns %d\n", t.OpenConns)
+		nodes := make([]rdma.NodeID, 0, len(t.OpenConnsByNode))
+		for n := range t.OpenConnsByNode {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			fmt.Fprintf(w, "aceso_transport_open_conns{node=\"%d\"} %d\n", n, t.OpenConnsByNode[n])
+		}
+		header(w, "aceso_transport_pool_ops_total", "counter", "Frame buffer pool traffic: gets, puts and pool misses that allocated.")
+		fmt.Fprintf(w, "aceso_transport_pool_ops_total{op=\"get\"} %d\n", t.PoolGets)
+		fmt.Fprintf(w, "aceso_transport_pool_ops_total{op=\"put\"} %d\n", t.PoolPuts)
+		fmt.Fprintf(w, "aceso_transport_pool_ops_total{op=\"alloc\"} %d\n", t.PoolAllocs)
 	}
 	if e.Gauges != nil {
 		g := e.Gauges()

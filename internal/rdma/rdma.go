@@ -85,7 +85,11 @@ type Op struct {
 // whose connection died after the request was flushed may execute
 // twice. READ/WRITE are idempotent; CAS/FAA re-execution is possible
 // only in that narrow window (injected chaos faults are applied before
-// execution and never re-execute — see ChaosConfig).
+// execution and never re-execute — see ChaosConfig). This holds for
+// batched atomics too: a partially-completed batch retries only the
+// ops that never reported a result, so a CAS/FAA inside a Batch has
+// the same exactly-once-under-injected-faults guarantee as a
+// singleton.
 type Verbs interface {
 	// Read copies len(buf) bytes from addr into buf.
 	Read(buf []byte, addr GlobalAddr) error
@@ -245,6 +249,19 @@ type TransportStats struct {
 	ChaosDrops  uint64
 	ChaosDelays uint64
 	ChaosResets uint64
+	// OpenConns gauges transport connections currently open (client
+	// stripes plus server-side accepted connections), with a per-node
+	// breakdown in OpenConnsByNode (nil when the fabric does not track
+	// connections).
+	OpenConns       uint64
+	OpenConnsByNode map[NodeID]uint64
+	// PoolGets/PoolPuts/PoolAllocs count frame-buffer pool traffic:
+	// checkouts, returns, and pool misses that had to allocate or grow a
+	// backing array. A healthy hot path shows gets ≈ puts with allocs
+	// flat after warm-up.
+	PoolGets   uint64
+	PoolPuts   uint64
+	PoolAllocs uint64
 }
 
 // Add accumulates other into s.
@@ -256,6 +273,18 @@ func (s *TransportStats) Add(other TransportStats) {
 	s.ChaosDrops += other.ChaosDrops
 	s.ChaosDelays += other.ChaosDelays
 	s.ChaosResets += other.ChaosResets
+	s.OpenConns += other.OpenConns
+	if len(other.OpenConnsByNode) > 0 {
+		if s.OpenConnsByNode == nil {
+			s.OpenConnsByNode = make(map[NodeID]uint64, len(other.OpenConnsByNode))
+		}
+		for n, c := range other.OpenConnsByNode {
+			s.OpenConnsByNode[n] += c
+		}
+	}
+	s.PoolGets += other.PoolGets
+	s.PoolPuts += other.PoolPuts
+	s.PoolAllocs += other.PoolAllocs
 }
 
 // TransportStatsSource is implemented by fabrics that maintain

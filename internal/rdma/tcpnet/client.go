@@ -1,0 +1,552 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// errTransient tags connection-level failures that the retry loop may
+// transparently recover from; it never escapes the package unwrapped.
+var errTransient = errors.New("tcpnet: transient connection failure")
+
+func transient(err error) error { return fmt.Errorf("%w: %v", errTransient, err) }
+
+func isTransient(err error) bool { return errors.Is(err, errTransient) }
+
+// verbs is one process's connection set; it is not safe for concurrent
+// use (each spawned process gets its own, as the rdma.Verbs contract
+// requires). Traffic to each node is striped over
+// Options.ConnsPerNode lazily-dialed connections, rotated once per
+// attempt: a doorbell batch stays pipelined on a single connection (as
+// it would on one RDMA QP) while successive attempts — and other
+// clients — land on different connections and therefore different
+// server goroutines. Options are resolved once at creation
+// (SetOptions is documented to run before processes spawn).
+type verbs struct {
+	pl     *Platform
+	opt    Options
+	groups map[rdma.NodeID]*connGroup
+	// lastNode/lastG short-circuit the map lookup for the common case
+	// of consecutive ops targeting the same node (batches, retries).
+	lastNode rdma.NodeID
+	lastG    *connGroup
+	epoch    uint64      // attempt counter driving stripe rotation
+	order    []*nodeConn // scratch: connections used by the current attempt
+	ptrs     []*rdma.Op  // scratch for Batch/Post
+	// op/single are the singleton-verb scratch: Read/Write/CAS/FAA
+	// build their one op here so the hot path performs zero heap
+	// allocations (a local rdma.Op would escape through pend).
+	op     rdma.Op
+	single [1]*rdma.Op
+}
+
+// connGroup is the striped connection set for one node.
+type connGroup struct {
+	slots []*nodeConn
+	was   []bool // slot ever carried a live connection (redial accounting)
+	rr    int
+	seen  uint64 // epoch the cursor last advanced in
+}
+
+// pendEntry is one in-flight request on a connection.
+type pendEntry struct {
+	seq uint32
+	op  *rdma.Op
+}
+
+// nodeConn is one striped connection. pend is a FIFO of in-flight
+// requests: the server executes a connection's frames strictly in
+// order over in-order TCP, so responses arrive as an ordered
+// subsequence of requests (chaos-dropped frames are simply skipped).
+// The slice is owned by the conn and reused across attempts, so the
+// steady state allocates nothing and never hashes.
+type nodeConn struct {
+	node rdma.NodeID
+	slot int
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	seq  uint32
+	dead bool
+	// inAttempt marks the conn as already deadline-armed and enqueued
+	// on verbs.order for the current attempt.
+	inAttempt bool
+	armed     time.Time // deadline currently set on the socket
+	pend      []pendEntry
+	head      int // first outstanding entry in pend
+	// hdr is the frame-header scratch for both directions; the conn is
+	// single-goroutine and send/receive phases never overlap, and a
+	// struct field (unlike a local array passed through an io interface)
+	// does not escape to a fresh heap allocation per frame.
+	hdr [hdrSize]byte
+}
+
+func newVerbs(pl *Platform) *verbs {
+	return &verbs{pl: pl, opt: pl.options(), groups: make(map[rdma.NodeID]*connGroup)}
+}
+
+// conn returns a live striped connection to node, advancing the
+// round-robin cursor and dialing the slot if needed. Dial failures are
+// transient (the node may be restarting) unless the platform knows the
+// node has fail-stopped. The whole path is lock-free: topology, failed
+// set and options are atomic snapshots.
+func (v *verbs) conn(node rdma.NodeID) (*nodeConn, error) {
+	g := v.lastG
+	if g == nil || v.lastNode != node {
+		g = v.groups[node]
+		if g == nil {
+			n := v.opt.ConnsPerNode
+			g = &connGroup{slots: make([]*nodeConn, n), was: make([]bool, n)}
+			v.groups[node] = g
+		}
+		v.lastNode, v.lastG = node, g
+	}
+	if g.seen != v.epoch {
+		g.seen = v.epoch
+		g.rr++
+		if g.rr >= len(g.slots) {
+			g.rr = 0
+		}
+	}
+	if nc := g.slots[g.rr]; nc != nil && !nc.dead {
+		return nc, nil
+	}
+	pl := v.pl
+	addr := pl.NodeAddr(node)
+	if addr == "" {
+		return nil, fmt.Errorf("%w: node %d has no address", rdma.ErrOutOfBounds, node)
+	}
+	if pl.Failed(node) {
+		return nil, fmt.Errorf("%w: node %d fail-stopped", rdma.ErrNodeFailed, node)
+	}
+	c, err := net.DialTimeout("tcp", addr, v.opt.DialTimeout)
+	if err != nil {
+		return nil, transient(err)
+	}
+	pl.ctr.dials.Add(1)
+	if g.was[g.rr] {
+		pl.ctr.redials.Add(1)
+	}
+	g.was[g.rr] = true
+	pl.conns.add(node, 1)
+	nc := &nodeConn{
+		node: node, slot: g.rr, c: c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+	g.slots[g.rr] = nc
+	return nc, nil
+}
+
+// evict closes and forgets a striped connection (closing prevents the
+// fd leak a bare slot clear would cause).
+func (v *verbs) evict(nc *nodeConn) {
+	if nc.dead {
+		return
+	}
+	nc.dead = true
+	nc.c.Close()
+	v.pl.conns.add(nc.node, -1)
+	if g := v.groups[nc.node]; g != nil && g.slots[nc.slot] == nc {
+		g.slots[nc.slot] = nil
+	}
+}
+
+// armDeadline gives the connection an I/O deadline of now+OpTimeout,
+// but only when the currently armed one has drifted more than a
+// quarter-timeout stale: refreshing the runtime poller timer on every
+// singleton verb costs more than the whole frame encode, and a
+// deadline between 0.75 and 1.0 of OpTimeout is equally good at
+// bounding a hung exchange.
+func (nc *nodeConn) armDeadline(o Options) {
+	d := time.Now().Add(o.OpTimeout)
+	if d.Sub(nc.armed) > o.OpTimeout/4 {
+		nc.c.SetDeadline(d) //nolint:errcheck // surfaced at I/O
+		nc.armed = d
+	}
+}
+
+func (nc *nodeConn) send(op uint8, seq uint32, off uint64, n uint32, payload []byte) error {
+	hdr := nc.hdr[:]
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], seq)
+	binary.LittleEndian.PutUint64(hdr[5:13], off)
+	binary.LittleEndian.PutUint32(hdr[13:17], n)
+	if _, err := nc.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := nc.bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvHdr reads one response frame header, leaving the n payload bytes
+// unread on the stream for the caller to consume or discard.
+func (nc *nodeConn) recvHdr(clamp uint32) (status uint8, seq uint32, result uint64, n uint32, err error) {
+	hdr := nc.hdr[:]
+	if _, err = io.ReadFull(nc.br, hdr[:]); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	n = binary.LittleEndian.Uint32(hdr[13:17])
+	if n > clamp {
+		// A wire-supplied length beyond any registered region means the
+		// stream is broken; fail the connection rather than allocate.
+		return 0, 0, 0, 0, fmt.Errorf("tcpnet: oversized frame (%d bytes)", n)
+	}
+	return hdr[0], binary.LittleEndian.Uint32(hdr[1:5]), binary.LittleEndian.Uint64(hdr[5:13]), n, nil
+}
+
+func statusErr(st uint8) error {
+	switch st {
+	case stOK:
+		return nil
+	case stErrBounds:
+		return rdma.ErrOutOfBounds
+	case stErrUnaligned:
+		return rdma.ErrUnaligned
+	case stErrNoHandler:
+		return rdma.ErrNoHandler
+	}
+	return fmt.Errorf("tcpnet: bad frame (status %d)", st)
+}
+
+// sendOp writes one op's request frame under a fresh sequence number.
+func (v *verbs) sendOp(nc *nodeConn, op *rdma.Op) (uint32, error) {
+	nc.seq++
+	seq := nc.seq
+	switch op.Kind {
+	case rdma.OpRead:
+		return seq, nc.send(opRead, seq, op.Addr.Off, uint32(len(op.Buf)), nil)
+	case rdma.OpWrite:
+		return seq, nc.send(opWrite, seq, op.Addr.Off, uint32(len(op.Buf)), op.Buf)
+	case rdma.OpCAS:
+		var p [16]byte
+		binary.LittleEndian.PutUint64(p[:8], op.Old)
+		binary.LittleEndian.PutUint64(p[8:], op.New)
+		return seq, nc.send(opCAS, seq, op.Addr.Off, 16, p[:])
+	case rdma.OpFAA:
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], op.New)
+		return seq, nc.send(opFAA, seq, op.Addr.Off, 8, p[:])
+	}
+	return seq, fmt.Errorf("tcpnet: unknown op kind %d", op.Kind)
+}
+
+// attempt executes one send/flush/recv round for ops, striping them
+// round-robin over each node's connections and pipelining per
+// connection. Connection-level failures tag the affected ops with a
+// transient error; an op whose response simply never arrives (chaos
+// drop) times out with the others on its connection and is retried.
+func (v *verbs) attempt(ops []*rdma.Op, o Options) {
+	clamp := v.pl.maxFrame()
+	v.epoch++
+	v.order = v.order[:0]
+
+	// Send phase, round-robin over striped connections; pipelining is
+	// preserved per connection.
+	for _, op := range ops {
+		op.Err = nil
+		nc, err := v.conn(op.Addr.Node)
+		if err != nil {
+			op.Err = err
+			continue
+		}
+		if !nc.inAttempt {
+			nc.inAttempt = true
+			nc.armDeadline(o)
+			v.order = append(v.order, nc)
+		}
+		seq, err := v.sendOp(nc, op)
+		if err != nil {
+			op.Err = transient(err)
+			v.evict(nc)
+			continue
+		}
+		nc.pend = append(nc.pend, pendEntry{seq: seq, op: op})
+	}
+	for _, nc := range v.order {
+		if nc.dead {
+			continue
+		}
+		if err := nc.bw.Flush(); err != nil {
+			v.evict(nc)
+		}
+	}
+
+	// Receive phase: match responses to ops by sequence number, conn by
+	// conn.
+	for _, nc := range v.order {
+		v.drain(nc, clamp)
+		nc.inAttempt = false
+	}
+}
+
+// drain reads responses on one connection until its pending FIFO is
+// empty or the connection fails. READ payloads land directly in the
+// op's destination buffer — the receive path never allocates. A
+// response whose sequence number is ahead of the FIFO head means the
+// server skipped (chaos-dropped) the frames in between: those ops fail
+// transient immediately instead of stalling the connection until the
+// attempt deadline. A response matching nothing outstanding means the
+// stream is broken, and the connection is evicted.
+func (v *verbs) drain(nc *nodeConn, clamp uint32) {
+	for nc.head < len(nc.pend) && !nc.dead {
+		st, seq, result, n, err := nc.recvHdr(clamp)
+		if err != nil {
+			v.evict(nc)
+			break
+		}
+		// Requests were sent with ascending seqs; skip entries the
+		// server never answered.
+		for nc.head < len(nc.pend) && nc.pend[nc.head].seq != seq {
+			skipped := nc.pend[nc.head].op
+			if skipped.Err == nil {
+				skipped.Err = transient(fmt.Errorf("request to node %d went unanswered", skipped.Addr.Node))
+			}
+			nc.head++
+		}
+		if nc.head == len(nc.pend) {
+			v.evict(nc) // response matches no outstanding request
+			if n > 0 {
+				nc.br.Discard(int(n)) //nolint:errcheck // conn is dead
+			}
+			break
+		}
+		op := nc.pend[nc.head].op
+		nc.head++
+		if st == stOK && op.Kind == rdma.OpRead && n > 0 {
+			if int(n) > len(op.Buf) {
+				v.evict(nc) // response longer than requested: broken stream
+				op.Err = transient(fmt.Errorf("oversized read response from node %d", op.Addr.Node))
+				continue
+			}
+			if _, err := io.ReadFull(nc.br, op.Buf[:n]); err != nil {
+				v.evict(nc)
+				op.Err = transient(err)
+				continue
+			}
+		} else if n > 0 {
+			// A payload we have no use for (error frames carry none
+			// today; tolerate it anyway).
+			if _, err := nc.br.Discard(int(n)); err != nil {
+				v.evict(nc)
+				op.Err = transient(err)
+				continue
+			}
+		}
+		if e := statusErr(st); e != nil {
+			op.Err = e
+			continue
+		}
+		op.Result = result
+	}
+	for ; nc.head < len(nc.pend); nc.head++ {
+		op := nc.pend[nc.head].op
+		if op.Err == nil {
+			op.Err = transient(fmt.Errorf("connection to node %d lost", op.Addr.Node))
+		}
+	}
+	nc.pend = nc.pend[:0]
+	nc.head = 0
+}
+
+// run drives ops to completion: transient failures are retried with
+// bounded exponential backoff until the retry budget expires, at which
+// point they surface as ErrNodeFailed.
+func (v *verbs) run(ops []*rdma.Op) {
+	o := v.opt
+	deadline := time.Now().Add(o.RetryBudget)
+	backoff := o.BackoffBase
+	pending := ops
+	for {
+		v.attempt(pending, o)
+		retry := pending[:0]
+		for _, op := range pending {
+			switch {
+			case op.Err == nil:
+			case isTransient(op.Err):
+				retry = append(retry, op)
+			case errors.Is(op.Err, rdma.ErrNodeFailed):
+				v.pl.ctr.nodeFailures.Add(1)
+			}
+		}
+		if len(retry) == 0 {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			for _, op := range retry {
+				op.Err = fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, op.Err)
+			}
+			v.pl.ctr.nodeFailures.Add(uint64(len(retry)))
+			return
+		}
+		v.pl.ctr.retries.Add(uint64(len(retry)))
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > o.BackoffMax {
+			backoff = o.BackoffMax
+		}
+		pending = retry
+	}
+}
+
+func (v *verbs) doOp() {
+	v.single[0] = &v.op
+	v.run(v.single[:])
+}
+
+func (v *verbs) Read(buf []byte, addr rdma.GlobalAddr) error {
+	v.op = rdma.Op{Kind: rdma.OpRead, Addr: addr, Buf: buf}
+	v.doOp()
+	return v.op.Err
+}
+
+func (v *verbs) Write(addr rdma.GlobalAddr, data []byte) error {
+	v.op = rdma.Op{Kind: rdma.OpWrite, Addr: addr, Buf: data}
+	v.doOp()
+	return v.op.Err
+}
+
+func (v *verbs) CAS(addr rdma.GlobalAddr, old, new uint64) (uint64, error) {
+	v.op = rdma.Op{Kind: rdma.OpCAS, Addr: addr, Old: old, New: new}
+	v.doOp()
+	return v.op.Result, v.op.Err
+}
+
+func (v *verbs) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
+	v.op = rdma.Op{Kind: rdma.OpFAA, Addr: addr, New: delta}
+	v.doOp()
+	return v.op.Result, v.op.Err
+}
+
+// Batch pipelines the ops (all requests written before responses are
+// read, striped round-robin over each node's connections), retries
+// transient failures, and returns the first error.
+func (v *verbs) Batch(ops []rdma.Op) error {
+	if cap(v.ptrs) < len(ops) {
+		v.ptrs = make([]*rdma.Op, len(ops))
+	}
+	ptrs := v.ptrs[:len(ops)]
+	for i := range ops {
+		ptrs[i] = &ops[i]
+	}
+	v.run(ptrs)
+	for i := range ptrs {
+		ptrs[i] = nil // do not retain the caller's ops past the call
+	}
+	for i := range ops {
+		if ops[i].Err != nil {
+			return ops[i].Err
+		}
+	}
+	return nil
+}
+
+// Post implements rdma.Verbs; over TCP an unsignaled post degenerates
+// to a synchronous batch (the transport has no completion queues to
+// skip).
+func (v *verbs) Post(ops []rdma.Op) error { return v.Batch(ops) }
+
+// RPC sends a two-sided request to the daemon on node, with the same
+// transparent-reconnect behaviour as the one-sided verbs.
+func (v *verbs) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) {
+	payload := append([]byte{method}, req...)
+	o := v.opt
+	deadline := time.Now().Add(o.RetryBudget)
+	backoff := o.BackoffBase
+	for {
+		resp, err := v.rpcOnce(node, payload, o)
+		if err == nil || !isTransient(err) {
+			if err != nil && errors.Is(err, rdma.ErrNodeFailed) {
+				v.pl.ctr.nodeFailures.Add(1)
+			}
+			return resp, err
+		}
+		if !time.Now().Before(deadline) {
+			v.pl.ctr.nodeFailures.Add(1)
+			return nil, fmt.Errorf("%w: retries exhausted: %v", rdma.ErrNodeFailed, err)
+		}
+		v.pl.ctr.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > o.BackoffMax {
+			backoff = o.BackoffMax
+		}
+	}
+}
+
+func (v *verbs) rpcOnce(node rdma.NodeID, payload []byte, o Options) ([]byte, error) {
+	v.epoch++
+	nc, err := v.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	nc.armDeadline(o)
+	nc.seq++
+	seq := nc.seq
+	if err := nc.send(opRPC, seq, 0, uint32(len(payload)), payload); err == nil {
+		err = nc.bw.Flush()
+		if err != nil {
+			v.evict(nc)
+			return nil, transient(err)
+		}
+	} else {
+		v.evict(nc)
+		return nil, transient(err)
+	}
+	clamp := v.pl.maxFrame()
+	for {
+		st, rseq, _, n, err := nc.recvHdr(clamp)
+		if err != nil {
+			v.evict(nc)
+			return nil, transient(err)
+		}
+		if rseq != seq {
+			// Stale response from a superseded exchange.
+			if n > 0 {
+				if _, err := nc.br.Discard(int(n)); err != nil {
+					v.evict(nc)
+					return nil, transient(err)
+				}
+			}
+			continue
+		}
+		var resp []byte
+		if n > 0 {
+			// The response escapes to the caller; RPC is off the verb
+			// hot path, so a fresh allocation is fine.
+			resp = make([]byte, n)
+			if _, err := io.ReadFull(nc.br, resp); err != nil {
+				v.evict(nc)
+				return nil, transient(err)
+			}
+		}
+		if err := statusErr(st); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+}
+
+// ctx is the wall-clock process context.
+type ctx struct {
+	pl   *Platform
+	node rdma.NodeID
+	*verbs
+}
+
+func (c *ctx) Node() rdma.NodeID                { return c.node }
+func (c *ctx) Now() time.Duration               { return time.Since(c.pl.start) }
+func (c *ctx) Sleep(d time.Duration)            { time.Sleep(d) }
+func (c *ctx) UseCPU(core int, d time.Duration) {}
+func (c *ctx) LocalMem() []byte                 { return c.pl.Memory(c.node) }

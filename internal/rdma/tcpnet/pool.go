@@ -1,0 +1,81 @@
+package tcpnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rdma"
+)
+
+// bufPool is a sync.Pool of payload buffers shared by the platform's
+// servers and verbs instances, so the steady-state frame hot path
+// reuses backing arrays instead of allocating per frame. The counters
+// feed rdma.TransportStats: a healthy hot path shows gets ≈ puts with
+// allocs (pool misses plus capacity growth) flat after warm-up.
+type bufPool struct {
+	p                 sync.Pool
+	gets, puts, grows atomic.Uint64
+}
+
+// get returns a buffer of length n (capacity may exceed n). The caller
+// must put it back exactly once when done.
+func (bp *bufPool) get(n int) *[]byte {
+	bp.gets.Add(1)
+	b, _ := bp.p.Get().(*[]byte)
+	if b == nil {
+		b = new([]byte)
+	}
+	if cap(*b) < n {
+		bp.grows.Add(1)
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+// put returns a buffer to the pool.
+func (bp *bufPool) put(b *[]byte) {
+	bp.puts.Add(1)
+	bp.p.Put(b)
+}
+
+func (bp *bufPool) stats() (gets, puts, allocs uint64) {
+	return bp.gets.Load(), bp.puts.Load(), bp.grows.Load()
+}
+
+// connTracker gauges open transport connections per node: client-side
+// striped connections count against their target node, server-side
+// accepted connections against the served node. It is touched only on
+// dial/accept/close, never per verb.
+type connTracker struct {
+	mu     sync.Mutex
+	byNode map[rdma.NodeID]int64
+}
+
+func (t *connTracker) add(node rdma.NodeID, d int64) {
+	t.mu.Lock()
+	if t.byNode == nil {
+		t.byNode = make(map[rdma.NodeID]int64)
+	}
+	t.byNode[node] += d
+	t.mu.Unlock()
+}
+
+// snapshot returns the total open-connection count and a per-node copy
+// (nil when no connection was ever tracked).
+func (t *connTracker) snapshot() (uint64, map[rdma.NodeID]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byNode == nil {
+		return 0, nil
+	}
+	var total uint64
+	out := make(map[rdma.NodeID]uint64, len(t.byNode))
+	for n, c := range t.byNode {
+		if c > 0 {
+			out[n] = uint64(c)
+			total += uint64(c)
+		}
+	}
+	return total, out
+}

@@ -1,0 +1,232 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdma"
+)
+
+// TestStripedAtomicityStress drives >=8 concurrent clients through the
+// striped data path (multiple connections per node, many lock stripes)
+// and checks linearizability of the results:
+//
+//   - an FAA counter incremented from every client (some increments
+//     batched, some singleton) must land on the exact total;
+//   - a CAS word contested by every client must have exactly one
+//     winner, and a CAS-ladder word (each client CASes cur -> cur+1 in
+//     a retry loop) must equal the number of successful swaps;
+//   - disjoint per-client WRITE/READ batches spanning many stripes must
+//     always read back what that client last wrote (no torn or
+//     interleaved writes across stripe boundaries).
+//
+// Run under -race this doubles as a data-race check on the striped
+// server locks, the striped client connections and the buffer pool.
+func TestStripedAtomicityStress(t *testing.T) {
+	const (
+		clients = 10
+		rounds  = 40
+		// Per-client region: 8 KB starting at 4 KB, far from the shared
+		// words at offset 0..64. 8 KB spans many 64 B stripes.
+		regionBytes = 8 * 1024
+	)
+	pl := NewGroup()
+	o := testOptions()
+	o.ConnsPerNode = 3
+	pl.SetOptions(o)
+	id := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 20})
+	defer pl.Close()
+	pl.SetChaos(id, rdma.ChaosConfig{
+		Seed:      7,
+		DropProb:  0.01,
+		DelayProb: 0.02,
+		MaxDelay:  200 * time.Microsecond,
+		ResetProb: 0.01,
+	})
+
+	var (
+		faaShared  = rdma.GlobalAddr{Node: id, Off: 0}
+		casOnce    = rdma.GlobalAddr{Node: id, Off: 8}
+		casLadder  = rdma.GlobalAddr{Node: id, Off: 16}
+		onceWins   [clients]int
+		ladderWins [clients]int
+		wg         sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVerbs(pl)
+			base := uint64(4096 + c*regionBytes)
+			wbuf := make([]byte, 512)
+			ops := make([]rdma.Op, 0, 17)
+			for r := 0; r < rounds; r++ {
+				// Disjoint writes: 16 batched 512 B WRITEs tiling the
+				// client's region, each stamped with (client, round).
+				for i := range wbuf {
+					wbuf[i] = byte(c ^ r ^ i)
+				}
+				ops = ops[:0]
+				for i := 0; i < 16; i++ {
+					ops = append(ops, rdma.Op{
+						Kind: rdma.OpWrite,
+						Addr: rdma.GlobalAddr{Node: id, Off: base + uint64(i*512)},
+						Buf:  wbuf,
+					})
+				}
+				// The FAA rides in the batch half the time and goes out
+				// as a singleton otherwise — both paths must be
+				// exactly-once.
+				batched := r%2 == 0
+				if batched {
+					ops = append(ops, rdma.Op{Kind: rdma.OpFAA, Addr: faaShared, New: 1})
+				}
+				if err := v.Batch(ops); err != nil {
+					t.Errorf("client %d round %d batch: %v", c, r, err)
+					return
+				}
+				if !batched {
+					if _, err := v.FAA(faaShared, 1); err != nil {
+						t.Errorf("client %d round %d faa: %v", c, r, err)
+						return
+					}
+				}
+				// Contested one-shot CAS: 0 -> client id+1. Exactly one
+				// client across the whole test may win.
+				if r == 0 {
+					cur, err := v.CAS(casOnce, 0, uint64(c+1))
+					if err != nil {
+						t.Errorf("client %d cas-once: %v", c, err)
+						return
+					}
+					if cur == 0 {
+						onceWins[c]++
+					}
+				}
+				// CAS ladder: read current, try to bump by one; count
+				// successes. Total successes must equal the final value.
+				cur, err := v.CAS(casLadder, 0, 0) // read via no-op CAS
+				if err != nil {
+					t.Errorf("client %d cas-read: %v", c, err)
+					return
+				}
+				got, err := v.CAS(casLadder, cur, cur+1)
+				if err != nil {
+					t.Errorf("client %d cas-ladder: %v", c, err)
+					return
+				}
+				if got == cur {
+					ladderWins[c]++
+				}
+				// Read back this client's region in one batch and check
+				// every byte: concurrent traffic on other stripes must
+				// not bleed in.
+				readOps := make([]rdma.Op, 16)
+				rb := make([][]byte, 16)
+				for i := range readOps {
+					rb[i] = make([]byte, 512)
+					readOps[i] = rdma.Op{
+						Kind: rdma.OpRead,
+						Addr: rdma.GlobalAddr{Node: id, Off: base + uint64(i*512)},
+						Buf:  rb[i],
+					}
+				}
+				if err := v.Batch(readOps); err != nil {
+					t.Errorf("client %d round %d read batch: %v", c, r, err)
+					return
+				}
+				for i := range rb {
+					for j, b := range rb[i] {
+						if b != byte(c^r^j) {
+							t.Errorf("client %d round %d: region byte %d/%d = %#x, want %#x (torn write)", c, r, i, j, b, byte(c^r^j))
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	pl.SetChaos(id, rdma.ChaosConfig{}) // clear before verification reads
+
+	v := newVerbs(pl)
+	read64 := func(a rdma.GlobalAddr) uint64 {
+		buf := make([]byte, 8)
+		if err := v.Read(buf, a); err != nil {
+			t.Fatalf("verify read: %v", err)
+		}
+		return binary.LittleEndian.Uint64(buf)
+	}
+
+	if got, want := read64(faaShared), uint64(clients*rounds); got != want {
+		t.Errorf("FAA counter = %d, want %d (lost or double-applied increment)", got, want)
+	}
+	wins, winner := 0, -1
+	for c, w := range onceWins {
+		wins += w
+		if w > 0 {
+			winner = c
+		}
+	}
+	if wins != 1 {
+		t.Errorf("contested CAS had %d winners, want exactly 1", wins)
+	} else if got, want := read64(casOnce), uint64(winner+1); got != want {
+		t.Errorf("contested CAS word = %d, want winner's value %d", got, want)
+	}
+	ladderTotal := 0
+	for _, w := range ladderWins {
+		ladderTotal += w
+	}
+	if got := read64(casLadder); got != uint64(ladderTotal) {
+		t.Errorf("CAS ladder = %d, want %d successful swaps", got, ladderTotal)
+	}
+}
+
+// TestBatchSpansStripesAndNodes checks that one doorbell batch mixing
+// nodes, verbs and stripe-crossing ranges completes with per-op
+// correctness (batches are not atomic as a unit; each op is).
+func TestBatchSpansStripesAndNodes(t *testing.T) {
+	pl := NewGroup()
+	pl.SetOptions(testOptions())
+	a := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 18})
+	b := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: 1 << 18})
+	defer pl.Close()
+
+	v := newVerbs(pl)
+	big := make([]byte, 3000) // crosses many 64 B stripes
+	for i := range big {
+		big[i] = byte(i)
+	}
+	ops := []rdma.Op{
+		{Kind: rdma.OpWrite, Addr: rdma.GlobalAddr{Node: a, Off: 100}, Buf: big},
+		{Kind: rdma.OpWrite, Addr: rdma.GlobalAddr{Node: b, Off: 200}, Buf: big},
+		{Kind: rdma.OpFAA, Addr: rdma.GlobalAddr{Node: a, Off: 0}, New: 5},
+		{Kind: rdma.OpCAS, Addr: rdma.GlobalAddr{Node: b, Off: 8}, Old: 0, New: 9},
+	}
+	if err := v.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range []rdma.NodeID{a, b} {
+		got := make([]byte, len(big))
+		if err := v.Read(got, rdma.GlobalAddr{Node: node, Off: uint64(100 * (i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != big[j] {
+				t.Fatalf("node %d byte %d = %#x, want %#x", node, j, got[j], big[j])
+			}
+		}
+	}
+	if got, err := v.FAA(rdma.GlobalAddr{Node: a, Off: 0}, 0); err != nil || got != 5 {
+		t.Fatalf("FAA word = %d (err %v), want 5", got, err)
+	}
+	if got, err := v.CAS(rdma.GlobalAddr{Node: b, Off: 8}, 9, 9); err != nil || got != 9 {
+		t.Fatalf("CAS word = %d (err %v), want 9", got, err)
+	}
+}
