@@ -43,6 +43,7 @@ func main() {
 	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size")
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
+	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match the daemons)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -223,6 +224,14 @@ func printMNStats(c *core.Client, mn int) {
 	ckpt := &stats.Series{Name: "checkpoint"}
 	ckpt.Add("rounds", float64(st.CkptRounds))
 	ckpt.Add("bytes", float64(st.CkptBytes))
+	ckpt.Add("rawBytes", float64(st.CkptRawBytes))
+	if st.CkptRawBytes > 0 {
+		ckpt.Add("ratio", float64(st.CkptBytes)/float64(st.CkptRawBytes))
+	}
+	ckpt.Add("dirtySegs", float64(st.CkptDirtySegs))
+	ckpt.Add("segsShipped", float64(st.CkptSegsShipped))
+	ckpt.Add("shipFailures", float64(st.CkptShipFailures))
+	ckpt.Add("cpuMs", float64(st.CkptCPUNs)/1e6)
 	ckpt.Add("applies", float64(st.CkptApplies))
 	ckpt.Add("indexVer", float64(st.IndexVersion))
 	fmt.Print(stats.Table(fmt.Sprintf("mn%d checkpoint pipeline", st.MN), ckpt))

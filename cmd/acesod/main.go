@@ -53,6 +53,8 @@ func main() {
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
 	ckpt := flag.Duration("ckpt", cfg.CkptInterval, "checkpoint interval")
+	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match on every daemon and client; 1 = full-image rounds)")
+	flag.IntVar(&cfg.CkptWorkers, "ckpt-workers", cfg.CkptWorkers, "checkpoint compression worker cores per MN (0 = inline on the send core)")
 	opt := tcpnet.Options{}.WithDefaults()
 	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
 	flag.DurationVar(&opt.OpTimeout, "op-timeout", opt.OpTimeout, "per-verb I/O deadline before a retry")
@@ -115,19 +117,34 @@ func main() {
 // map (names become aceso_<name>).
 func serverGauges(st core.ServerStats) map[string]float64 {
 	return map[string]float64{
-		"index_version":          float64(st.IndexVersion),
-		"reclaimed_blocks_total": float64(st.Reclaimed),
-		"bitmap_updates_total":   float64(st.BitsApplied),
-		"ckpt_rounds_total":      float64(st.CkptRounds),
-		"ckpt_bytes_total":       float64(st.CkptBytes),
-		"ckpt_applies_total":     float64(st.CkptApplies),
-		"encode_batches_total":   float64(st.EncodeJobs),
-		"encode_drops_total":     float64(st.EncodeDrops),
-		"encode_queue":           float64(st.EncodeQueue),
-		"pool_blocks":            float64(st.PoolBlocks),
-		"pool_blocks_free":       float64(st.PoolFree),
-		"pool_blocks_delta":      float64(st.PoolDelta),
-		"pool_blocks_copy":       float64(st.PoolCopy),
-		"pool_blocks_data":       float64(st.PoolData),
+		"index_version":               float64(st.IndexVersion),
+		"reclaimed_blocks_total":      float64(st.Reclaimed),
+		"bitmap_updates_total":        float64(st.BitsApplied),
+		"ckpt_rounds_total":           float64(st.CkptRounds),
+		"ckpt_bytes_total":            float64(st.CkptBytes),
+		"ckpt_applies_total":          float64(st.CkptApplies),
+		"ckpt_ship_failures_total":    float64(st.CkptShipFailures),
+		"ckpt_dirty_segments":         float64(st.CkptDirtySegs),
+		"ckpt_segments_shipped_total": float64(st.CkptSegsShipped),
+		"ckpt_raw_bytes_total":        float64(st.CkptRawBytes),
+		"ckpt_cpu_seconds_total":      float64(st.CkptCPUNs) / 1e9,
+		"ckpt_compress_ratio":         ckptRatio(st),
+		"encode_batches_total":        float64(st.EncodeJobs),
+		"encode_drops_total":          float64(st.EncodeDrops),
+		"encode_queue":                float64(st.EncodeQueue),
+		"pool_blocks":                 float64(st.PoolBlocks),
+		"pool_blocks_free":            float64(st.PoolFree),
+		"pool_blocks_delta":           float64(st.PoolDelta),
+		"pool_blocks_copy":            float64(st.PoolCopy),
+		"pool_blocks_data":            float64(st.PoolData),
 	}
+}
+
+// ckptRatio is shipped-compressed bytes over pre-compression raw bytes
+// (lower is better; 1.0 when nothing compressed yet).
+func ckptRatio(st core.ServerStats) float64 {
+	if st.CkptRawBytes == 0 {
+		return 1
+	}
+	return float64(st.CkptBytes) / float64(st.CkptRawBytes)
 }

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ckptperf", "Segment-parallel differential checkpointing vs full-image rounds", runCkptPerf)
+}
+
+// ckptPerfRow is one checkpointing mode's measured cost.
+type ckptPerfRow struct {
+	Mode             string  `json:"mode"`
+	Segments         int     `json:"segments"`
+	Workers          int     `json:"workers"`
+	Rounds           uint64  `json:"rounds"`
+	CPUUsPerRound    float64 `json:"ckpt_cpu_us_per_round"`
+	BytesPerRound    float64 `json:"bytes_per_round"`
+	RawBytesPerRound float64 `json:"raw_bytes_per_round"`
+	SegsPerRound     float64 `json:"segments_per_round"`
+	DirtyFraction    float64 `json:"dirty_fraction"`
+	ShipFailures     uint64  `json:"ship_failures"`
+	ForegroundMops   float64 `json:"foreground_mops"`
+}
+
+// ckptPerfSummary is the machine-readable artifact (BENCH_ckptperf.json).
+type ckptPerfSummary struct {
+	IndexBytes     uint64        `json:"index_bytes"`
+	CkptIntervalUs float64       `json:"ckpt_interval_us"`
+	HotKeys        int           `json:"hot_keys"`
+	Clients        int           `json:"clients"`
+	OpsPerClient   int           `json:"ops_per_client"`
+	Rows           []ckptPerfRow `json:"rows"`
+	// BytesReduction / CPUReduction are full-image over segmented
+	// per-round cost: the tentpole's acceptance ratios (>= 2x expected
+	// whenever the dirty fraction stays at or below 25%).
+	BytesReduction float64 `json:"bytes_per_round_reduction"`
+	CPUReduction   float64 `json:"cpu_per_round_reduction"`
+}
+
+// runCkptPerf measures the checkpoint pipeline's per-round cost under a
+// small hot working set — the regime the segmentation tentpole targets:
+// a few clients update the same handful of keys, so only a small
+// fraction of the index's segments is dirty each round. CkptSegments=1
+// reproduces the old full-image pipeline (the Figure 1(b)/Figure 17
+// ablation baseline); CkptSegments=64 with a worker pool ships only
+// dirty segments. Costs come from the MN server counters (CkptCPUNs
+// covers snapshot memcpy, XOR+compress — inline or workers — and the
+// host-side decompress+apply), foreground throughput from the measured
+// update phase.
+func runCkptPerf(o Options) (*Result, error) {
+	const (
+		hotPerClient = 2
+		interval     = 100 * time.Microsecond
+		indexBytes   = uint64(4 << 20)
+	)
+	clients := 4
+	opsPerClient := 3000
+	settleOps := 400
+	if o.Quick {
+		opsPerClient = 600
+		settleOps = 100
+	}
+
+	modes := []struct {
+		name    string
+		segs    int
+		workers int
+	}{
+		{"full-image", 1, 0},
+		{"segmented", 64, 2},
+	}
+
+	res := &Result{ID: "ckptperf", Title: "Checkpoint cost per round: full-image vs segmented"}
+	sum := &ckptPerfSummary{
+		IndexBytes:     indexBytes,
+		CkptIntervalUs: us(interval),
+		HotKeys:        clients * hotPerClient,
+		Clients:        clients,
+		OpsPerClient:   opsPerClient,
+	}
+	bytesRow := &stats.Series{Name: "bytes/round"}
+	cpuRow := &stats.Series{Name: "ckpt CPU µs/round"}
+	segsRow := &stats.Series{Name: "segments/round"}
+	dirtyRow := &stats.Series{Name: "dirty fraction %"}
+	mopsRow := &stats.Series{Name: "foreground Mops"}
+
+	for _, m := range modes {
+		lo := o
+		lo.Clients = clients
+		lo.CNs = 2
+		lo.OpsPerClient = settleOps + opsPerClient // sizing covers both phases
+		cfg := acesoConfig(lo, 0, func(cfg *core.Config) {
+			cfg.CkptInterval = interval
+			cfg.Layout.CkptSegments = m.segs
+			cfg.CkptWorkers = m.workers
+		})
+		cfg.Layout.IndexBytes = indexBytes // fixed geometry: both modes compress the same image
+		r, err := newAcesoRun(lo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ckptperf %s: %w", m.name, err)
+		}
+		// Preload the hot keys, then settle: the insert phase dirties
+		// buckets all over the index, and the first rounds flush that
+		// backlog. Counters are snapshotted only after the pipeline
+		// reaches the steady hot-set state.
+		if err := preloadMicro(r, clients, hotPerClient, lo.KVSize); err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("ckptperf %s preload: %w", m.name, err)
+		}
+		hotGens := func() []workload.Generator {
+			gens := make([]workload.Generator, clients)
+			for g := range gens {
+				gens[g] = workload.NewMicro(workload.OpUpdate, g, hotPerClient)
+			}
+			return gens
+		}
+		if _, err := runPhase(r, hotGens(), 0, settleOps, lo.KVSize, 10*time.Minute); err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("ckptperf %s settle: %w", m.name, err)
+		}
+		st0 := ckptStatsSum(r)
+		meas, err := runPhase(r, hotGens(), 0, opsPerClient, lo.KVSize, 10*time.Minute)
+		st1 := ckptStatsSum(r)
+		r.shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("ckptperf %s measure: %w", m.name, err)
+		}
+
+		rounds := st1.CkptRounds - st0.CkptRounds
+		if rounds == 0 {
+			return nil, fmt.Errorf("ckptperf %s: no checkpoint rounds in the measured window", m.name)
+		}
+		row := ckptPerfRow{
+			Mode:             m.name,
+			Segments:         m.segs,
+			Workers:          m.workers,
+			Rounds:           rounds,
+			CPUUsPerRound:    float64(st1.CkptCPUNs-st0.CkptCPUNs) / 1e3 / float64(rounds),
+			BytesPerRound:    float64(st1.CkptBytes-st0.CkptBytes) / float64(rounds),
+			RawBytesPerRound: float64(st1.CkptRawBytes-st0.CkptRawBytes) / float64(rounds),
+			SegsPerRound:     float64(st1.CkptSegsShipped-st0.CkptSegsShipped) / float64(rounds),
+			ShipFailures:     st1.CkptShipFailures - st0.CkptShipFailures,
+			ForegroundMops:   meas.mops(),
+		}
+		row.DirtyFraction = row.SegsPerRound / float64(m.segs)
+		sum.Rows = append(sum.Rows, row)
+		bytesRow.Add(m.name, row.BytesPerRound)
+		cpuRow.Add(m.name, row.CPUUsPerRound)
+		segsRow.Add(m.name, row.SegsPerRound)
+		dirtyRow.Add(m.name, row.DirtyFraction*100)
+		mopsRow.Add(m.name, row.ForegroundMops)
+	}
+
+	full, seg := sum.Rows[0], sum.Rows[1]
+	if seg.BytesPerRound > 0 {
+		sum.BytesReduction = full.BytesPerRound / seg.BytesPerRound
+	}
+	if seg.CPUUsPerRound > 0 {
+		sum.CPUReduction = full.CPUUsPerRound / seg.CPUUsPerRound
+	}
+	res.Series = append(res.Series, bytesRow, cpuRow, segsRow, dirtyRow, mopsRow)
+	res.Summary = sum
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d clients update a %d-key hot set; %s interval; %d MB index; per-round costs are sums over all MNs (send snapshot+XOR+compress plus host decompress+apply) divided by shipped rounds",
+			clients, sum.HotKeys, interval, indexBytes>>20),
+		fmt.Sprintf("segmented vs full-image at %.0f%% dirty segments: %.1fx fewer bytes/round, %.1fx less ckpt CPU/round",
+			seg.DirtyFraction*100, sum.BytesReduction, sum.CPUReduction),
+		"CkptSegments=1 runs the identical code path in all-segments mode and reproduces the old full-image rounds byte-for-byte")
+	return res, nil
+}
+
+// ckptStatsSum snapshots the checkpoint counters summed over every MN
+// server (owner-side and host-side counters both live in ServerStats).
+func ckptStatsSum(r *acesoRun) core.ServerStats {
+	var sum core.ServerStats
+	for mn := 0; mn < r.cl.Cfg.Layout.NumMNs; mn++ {
+		st := r.cl.Server(mn).Stats()
+		sum.CkptRounds += st.CkptRounds
+		sum.CkptBytes += st.CkptBytes
+		sum.CkptRawBytes += st.CkptRawBytes
+		sum.CkptApplies += st.CkptApplies
+		sum.CkptCPUNs += st.CkptCPUNs
+		sum.CkptSegsShipped += st.CkptSegsShipped
+		sum.CkptShipFailures += st.CkptShipFailures
+	}
+	return sum
+}

@@ -67,6 +67,11 @@ func (s *Server) handleAdminStats(_ []byte) ([]byte, time.Duration) {
 	e.u64(st.PoolDelta)
 	e.u64(st.PoolCopy)
 	e.u64(st.PoolData)
+	e.u64(st.CkptShipFailures)
+	e.u64(st.CkptDirtySegs)
+	e.u64(st.CkptSegsShipped)
+	e.u64(st.CkptRawBytes)
+	e.u64(st.CkptCPUNs)
 	return e.b, 2 * time.Microsecond
 }
 
@@ -101,6 +106,11 @@ func (c *Client) StatsMN(mn int) (ServerStats, error) {
 	st.PoolDelta = d.u64()
 	st.PoolCopy = d.u64()
 	st.PoolData = d.u64()
+	st.CkptShipFailures = d.u64()
+	st.CkptDirtySegs = d.u64()
+	st.CkptSegsShipped = d.u64()
+	st.CkptRawBytes = d.u64()
+	st.CkptCPUNs = d.u64()
 	return st, nil
 }
 

@@ -102,7 +102,7 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	cl.view.indexReady = make([]bool, n)
 	cl.view.blocksReady = make([]bool, n)
 	for i := 0; i < n; i++ {
-		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: l.MemBytes(), CPUCores: rdma.NumMNCores})
+		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: l.MemBytes(), CPUCores: rdma.NumMNCores + cfg.ckptWorkers()})
 		cl.view.node[i] = node
 		cl.view.indexReady[i] = true
 		cl.view.blocksReady[i] = true

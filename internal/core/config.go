@@ -99,6 +99,11 @@ type Config struct {
 	// rebuilt block to the replacement MN. 0 keeps all decoding on the
 	// replacement node.
 	RecoveryHelpers int
+	// CkptWorkers sizes the checkpoint compression worker pool: that
+	// many extra MN cores XOR+compress dirty segments concurrently
+	// each round. 0 keeps all segment processing inline on the
+	// checkpoint-send core (the pre-segmentation behaviour).
+	CkptWorkers int
 	// DeltaCopies is how many of the stripe's parity MNs receive each
 	// KV's delta write. 0 (the default) means all ParityShards, which
 	// keeps unsealed data recoverable at the full two-failure bound;
@@ -124,6 +129,7 @@ func DefaultConfig() Config {
 			PoolBlocks:   16,
 			CkptHosts:    1,
 			MetaReplicas: 2,
+			CkptSegments: 64,
 		},
 		Code:             "xor",
 		CkptInterval:     500 * time.Millisecond,
@@ -137,6 +143,7 @@ func DefaultConfig() Config {
 		MetaSyncInterval: 200 * time.Microsecond,
 		ChunkBytes:       64 << 10,
 		RecoveryPipeline: true,
+		CkptWorkers:      2,
 		Rates:            DefaultCPURates(),
 	}
 }
@@ -152,6 +159,14 @@ func (c *Config) newCode() (erasure.Code, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown erasure code %q", c.Code)
 	}
+}
+
+// ckptWorkers resolves the effective checkpoint worker-pool size.
+func (c *Config) ckptWorkers() int {
+	if c.CkptWorkers <= 0 {
+		return 0
+	}
+	return c.CkptWorkers
 }
 
 // deltaCopies resolves the effective per-KV delta fan-out.

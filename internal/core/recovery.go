@@ -70,20 +70,45 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	// --- Tier 2: Index Area ---
 	t := ctx.Now()
 	ckptVer := uint64(0)
-	for h := 0; h < l.Cfg.CkptHosts; h++ {
+	gotCkpt := false
+	for h := 0; h < l.Cfg.CkptHosts && !gotCkpt; h++ {
 		host := l.CkptHostOf(mn, h)
 		if _, alive := cl.view.nodeOf(host); !alive {
 			continue
 		}
 		slot := l.CkptSlotFor(host, mn)
-		if err := readChunked(ctx, cl, host, l.CkptCopyOff(slot), mem[:l.Cfg.IndexBytes]); err != nil {
-			continue
+		// The host's recv core keeps applying checkpoint rounds while we
+		// read, so a single pass can observe a torn image. Sample the
+		// version word before and after the bulk read and accept only a
+		// matching pair (the word is bumped once per fully-applied
+		// round); retry a few times under churn.
+		for attempt := 0; attempt < 3; attempt++ {
+			verBefore, ok := readCkptVersion(ctx, cl, host, slot)
+			if !ok {
+				break
+			}
+			if err := readChunked(ctx, cl, host, l.CkptCopyOff(slot), mem[:l.Cfg.IndexBytes]); err != nil {
+				break
+			}
+			verAfter, ok := readCkptVersion(ctx, cl, host, slot)
+			if !ok {
+				break
+			}
+			if verBefore == verAfter {
+				ckptVer = verAfter
+				gotCkpt = true
+				break
+			}
 		}
-		var vbuf [8]byte
-		if addr, ok := cl.Addr(host, l.CkptVersionOff(slot)); ok && ctx.Read(vbuf[:], addr) == nil {
-			ckptVer = binary.LittleEndian.Uint64(vbuf[:])
-			break
+	}
+	if !gotCkpt {
+		// No host produced a consistent copy: fall back to an empty
+		// index at version 0, which classifies every DATA block as
+		// "new" below and rebuilds the index purely from the KV scan.
+		for i := range mem[:l.Cfg.IndexBytes] {
+			mem[i] = 0
 		}
+		ckptVer = 0
 	}
 	rep.CkptVersion = ckptVer
 	binary.LittleEndian.PutUint64(mem[l.IndexVersionOff():], ckptVer+1)
@@ -296,6 +321,17 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	return rep
 }
 
+// readCkptVersion reads the hosted checkpoint copy's version word for
+// slot on host.
+func readCkptVersion(ctx rdma.Ctx, cl *Cluster, host, slot int) (uint64, bool) {
+	var vbuf [8]byte
+	addr, ok := cl.Addr(host, cl.L.CkptVersionOff(slot))
+	if !ok || ctx.Read(vbuf[:], addr) != nil {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(vbuf[:]), true
+}
+
 // reconcileDeltaRecords repairs a consequence of asynchronous Meta
 // Area replication: a parity record's DeltaAddr assignment can survive
 // a crash while the referenced DELTA block's own record was still
@@ -477,6 +513,9 @@ func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered ma
 	if !cl.Cfg.RecoveryPipeline {
 		// Ablation: strictly sequential fetch-then-decode.
 		mem := ctx.LocalMem()
+		if len(mem) == 0 {
+			return // node failed under us; the master retries elsewhere
+		}
 		for _, b := range blocks {
 			f := fetchStripe(ctx, cl, mn, b)
 			if !f.ok {
@@ -514,6 +553,9 @@ func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered ma
 	})
 
 	mem := ctx.LocalMem()
+	if len(mem) == 0 {
+		return // node failed under us; the master retries elsewhere
+	}
 	for {
 		mu.Lock()
 		if len(queue) == 0 {

@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/erasure"
 	"repro/internal/layout"
-	"repro/internal/lz4"
 	"repro/internal/rdma"
 )
 
@@ -41,6 +40,23 @@ type Server struct {
 	dirty    map[int]bool
 	stopped  bool
 
+	// Segment-parallel checkpoint pipeline state (ckpt.go).
+	ckptDirty    []atomic.Uint64 // per-segment dirty bitmap, set by the write observer
+	ckptTracked  bool            // observer wired; else every segment ships every round
+	ckptResync   bool            // recovered server: first round must overwrite, not XOR
+	ckptFr       *ckptFramer
+	ckptApplier  *ckptApplier
+	ckptShippers []*ckptShipper
+	ckptApplySeq []uint64 // per hosted slot: seq of last applied frame (guarded by mu)
+	// Worker-pool round state (guarded by ckptWorkMu): jobs 0..N-1 of
+	// ckptFr.jobs, Next the first unclaimed, Left the unfinished count,
+	// Ns the CPU time the pool spent on the round.
+	ckptWorkMu   sync.Mutex
+	ckptWorkN    int
+	ckptWorkNext int
+	ckptWorkLeft int
+	ckptWorkNs   uint64
+
 	// reclaimed counts blocks handed out through delta-based
 	// reclamation (observability for the reclamation experiments).
 	reclaimed int
@@ -48,11 +64,16 @@ type Server struct {
 	bitsApplied int
 	// Checkpoint/encode pipeline counters (observability; guarded by
 	// mu like the queues they describe).
-	ckptRounds  uint64 // differential checkpoint rounds shipped
-	ckptBytes   uint64 // compressed checkpoint payload bytes produced
-	ckptApplies uint64 // staged checkpoint deltas applied to hosted copies
-	encodeJobs  uint64 // DELTA blocks folded into the local parity
-	encodeDrops uint64 // DELTA blocks discarded without encoding
+	ckptRounds       uint64 // differential checkpoint rounds shipped
+	ckptBytes        uint64 // compressed checkpoint payload bytes produced
+	ckptRawBytes     uint64 // uncompressed bytes the shipped segments represent
+	ckptApplies      uint64 // staged checkpoint frames applied to hosted copies
+	ckptShipFailures uint64 // frames a host missed (transport failure or torn apply)
+	ckptDirtySegs    uint64 // gauge: segments dirty at the last shipped round
+	ckptSegsShipped  uint64 // cumulative segments shipped across all rounds
+	ckptCPUNs        uint64 // cumulative checkpoint pipeline CPU (send+recv), ns
+	encodeJobs       uint64 // DELTA blocks folded into the local parity
+	encodeDrops      uint64 // DELTA blocks discarded without encoding
 }
 
 type encodeJob struct {
@@ -62,9 +83,9 @@ type encodeJob struct {
 }
 
 type applyJob struct {
-	slot    int
-	version uint64
-	compLen int
+	slot     int
+	version  uint64
+	frameLen int
 }
 
 func newServer(cl *Cluster, mn int, node rdma.NodeID) *Server {
@@ -72,11 +93,18 @@ func newServer(cl *Cluster, mn int, node rdma.NodeID) *Server {
 }
 
 // start derives in-memory state, installs the RPC handler and spawns
-// the four daemons, mirroring the paper's four-core MN assignment.
+// the daemons: the paper's four-core MN assignment (encoder, ckpt
+// send, ckpt recv, meta sync) plus the checkpoint worker pool and one
+// shipper per checkpoint host (ckpt.go).
 func (s *Server) start() {
 	s.mem = s.cl.pl.Memory(s.node)
 	s.memMu = s.cl.pl.MemMutex(s.node)
 	l := s.cl.L
+	// A nonzero index version before seeding means this server was
+	// recovered onto a replacement node: the checkpoint hosts still
+	// hold pre-crash copies its zeroed reference snapshot must not be
+	// XOR-ed against (ckptSendLoop overwrites instead).
+	s.ckptResync = s.indexVersion() != 0
 	// The live index version starts at 1 so that sealed blocks are
 	// always distinguishable from unfilled ones (IndexVersion 0,
 	// §3.2.3). Recovery re-seeds it from the checkpoint version.
@@ -89,12 +117,34 @@ func (s *Server) start() {
 			s.dataRows = append(s.dataRows, row)
 		}
 	}
+	segs := l.CkptSegCount()
+	s.ckptDirty = make([]atomic.Uint64, (segs+63)/64)
+	if wo, ok := s.cl.pl.(rdma.WriteObserver); ok {
+		s.ckptTracked = wo.SetWriteObserver(s.node, s.observeIndexWrite)
+	}
+	s.ckptFr = newCkptFramer(l, s.cl.Cfg.Rates, s.cl.Cfg.CkptRaw)
+	s.ckptApplier = newCkptApplier(l)
+	s.ckptApplySeq = make([]uint64, l.Cfg.CkptHosts)
+	// Shippers must exist before any daemon spawns: on wall-clock
+	// fabrics Spawn starts the goroutine immediately.
+	s.ckptShippers = make([]*ckptShipper, l.Cfg.CkptHosts)
+	for h := range s.ckptShippers {
+		s.ckptShippers[h] = &ckptShipper{}
+	}
 	s.cl.pl.SetHandler(s.node, s.handle)
 	name := fmt.Sprintf("mn%d", s.mn)
 	s.cl.pl.Spawn(s.node, name+"-encoder", s.encoderLoop)
 	s.cl.pl.Spawn(s.node, name+"-ckptsend", s.ckptSendLoop)
 	s.cl.pl.Spawn(s.node, name+"-ckptrecv", s.ckptRecvLoop)
 	s.cl.pl.Spawn(s.node, name+"-metasync", s.metaSyncLoop)
+	for h := range s.ckptShippers {
+		s.cl.pl.Spawn(s.node, fmt.Sprintf("%s-ckptship%d", name, h), s.ckptShipLoop(h))
+	}
+	if w := s.cl.Cfg.ckptWorkers(); w > 0 && segs > 1 {
+		for i := 0; i < w; i++ {
+			s.cl.pl.Spawn(s.node, fmt.Sprintf("%s-ckptworker%d", name, i), s.ckptWorkerLoop(i))
+		}
+	}
 }
 
 // stop makes the daemons wind down (used at failure injection).
@@ -176,7 +226,7 @@ type ServerStats struct {
 	BitsApplied  uint64 // accepted free-bitmap updates
 	CkptRounds   uint64 // differential checkpoint rounds shipped
 	CkptBytes    uint64 // compressed checkpoint payload bytes produced
-	CkptApplies  uint64 // staged checkpoint deltas applied to hosted copies
+	CkptApplies  uint64 // staged checkpoint frames applied to hosted copies
 	EncodeJobs   uint64 // DELTA blocks folded into the local parity
 	EncodeDrops  uint64 // DELTA blocks discarded without encoding
 	EncodeQueue  uint64 // encode jobs currently queued
@@ -185,6 +235,12 @@ type ServerStats struct {
 	PoolDelta    uint64 // pool blocks currently DELTA
 	PoolCopy     uint64 // pool blocks currently COPY (reclamation backups)
 	PoolData     uint64 // pool blocks serving as reclaimed DATA
+
+	CkptShipFailures uint64 // checkpoint frames a host missed (transport or torn apply)
+	CkptDirtySegs    uint64 // gauge: segments dirty at the last shipped round
+	CkptSegsShipped  uint64 // cumulative segments shipped across all rounds
+	CkptRawBytes     uint64 // uncompressed bytes the shipped segments represent
+	CkptCPUNs        uint64 // cumulative checkpoint pipeline CPU (send+recv), ns
 }
 
 // Stats snapshots the server's counters and scans pool occupancy. On a
@@ -226,6 +282,11 @@ func (s *Server) statsLocked() ServerStats {
 	st.EncodeJobs = s.encodeJobs
 	st.EncodeDrops = s.encodeDrops
 	st.EncodeQueue = uint64(len(s.encodeQ))
+	st.CkptShipFailures = s.ckptShipFailures
+	st.CkptDirtySegs = s.ckptDirtySegs
+	st.CkptSegsShipped = s.ckptSegsShipped
+	st.CkptRawBytes = s.ckptRawBytes
+	st.CkptCPUNs = s.ckptCPUNs
 	s.mu.Unlock()
 	return st
 }
@@ -553,22 +614,29 @@ func (s *Server) handleCkptSnapshot(req []byte) ([]byte, time.Duration) {
 	return []byte{stOK}, 500 * time.Nanosecond
 }
 
-// handleApplyCkpt records that owner's compressed checkpoint delta has
-// landed in our staging area (Figure 3 ④ happens on our ckpt-recv
-// core).
+// handleApplyCkpt records that owner's checkpoint frame has landed in
+// our staging area (Figure 3 ④ happens on our ckpt-recv core). The
+// response carries the sequence of the last frame actually applied to
+// this slot, which is how the owner learns about frames that were lost
+// after a successful notify (torn in staging before the recv core got
+// to them) and owes the host overwrite records.
 func (s *Server) handleApplyCkpt(req []byte) ([]byte, time.Duration) {
 	d := dec{b: req}
 	owner := int(d.u8())
 	version := d.u64()
-	compLen := int(d.u32())
+	frameLen := int(d.u32())
 	slot := s.cl.L.CkptSlotFor(s.mn, owner)
-	if slot < 0 {
+	if slot < 0 || frameLen < layout.CkptFrameHeaderSize ||
+		uint64(frameLen) > s.cl.L.CkptStagingBytes() {
 		return []byte{stBadArg}, time.Microsecond
 	}
 	s.mu.Lock()
-	s.applyQ = append(s.applyQ, applyJob{slot: slot, version: version, compLen: compLen})
+	s.applyQ = append(s.applyQ, applyJob{slot: slot, version: version, frameLen: frameLen})
+	lastApplied := s.ckptApplySeq[slot]
 	s.mu.Unlock()
-	return []byte{stOK}, 500 * time.Nanosecond
+	e := enc{b: []byte{stOK}}
+	e.u64(lastApplied)
+	return e.b, 500 * time.Nanosecond
 }
 
 // --- daemons ---
@@ -632,138 +700,8 @@ func (s *Server) encodeOne(job encodeJob) time.Duration {
 	return cost
 }
 
-// ckptSendLoop is the checkpoint-send core: it runs the differential
-// checkpointing pipeline of Figure 3 (snapshot → XOR with last →
-// LZ4-compress → chunked RDMA_WRITE to the hosts → notify).
-func (s *Server) ckptSendLoop(ctx rdma.Ctx) {
-	l := s.cl.L
-	ib := int(l.Cfg.IndexBytes)
-	last := make([]byte, ib)
-	snap := make([]byte, ib)
-	deltaBuf := make([]byte, ib)
-	comp := make([]byte, 0, lz4.CompressBound(ib))
-	for !s.isStopped() {
-		ctx.Sleep(100 * time.Microsecond)
-		s.mu.Lock()
-		round := s.snapshot
-		s.snapshot = 0
-		s.mu.Unlock()
-		if round == 0 {
-			continue
-		}
-		// ① snapshot; ② XOR with the previous checkpoint and compress
-		// (or, in the raw ablation mode of Figure 1(b), ship the whole
-		// snapshot uncompressed).
-		s.memMu.Lock()
-		copy(snap, s.mem[:ib])
-		s.memMu.Unlock()
-		ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
-		payload := snap
-		if !s.cl.Cfg.CkptRaw {
-			copy(deltaBuf, snap)
-			erasure.XorInto(deltaBuf, last)
-			ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
-			comp = lz4.Compress(comp[:0], deltaBuf)
-			ctx.UseCPU(rdma.CoreCkptSend, cpuTime(ib, s.cl.Cfg.Rates.Compress))
-			payload = comp
-		}
-		last, snap = snap, last
-		s.mu.Lock()
-		s.ckptRounds++
-		s.ckptBytes += uint64(len(payload))
-		s.mu.Unlock()
-		// ③ ship to each host and notify.
-		for h := 0; h < l.Cfg.CkptHosts; h++ {
-			host := l.CkptHostOf(s.mn, h)
-			slot := l.CkptSlotFor(host, s.mn)
-			base := l.CkptStagingOff(slot)
-			if err := s.writeChunked(ctx, host, base, payload); err != nil {
-				continue
-			}
-			var e enc
-			e.u8(uint8(s.mn))
-			e.u64(round)
-			e.u32(uint32(len(payload)))
-			node, ok := s.cl.view.nodeOf(host)
-			if !ok {
-				continue
-			}
-			ctx.RPC(node, methodApplyCkpt, e.b) //nolint:errcheck // host failure handled by recovery
-		}
-	}
-}
-
-// writeChunked writes data to (mn, off) in ChunkBytes pieces so bulk
-// transfers interleave with foreground verbs at the NICs.
-func (s *Server) writeChunked(ctx rdma.Ctx, mn int, off uint64, data []byte) error {
-	chunk := s.cl.Cfg.ChunkBytes
-	for pos := 0; pos < len(data); pos += chunk {
-		end := pos + chunk
-		if end > len(data) {
-			end = len(data)
-		}
-		addr, ok := s.cl.Addr(mn, off+uint64(pos))
-		if !ok {
-			return rdma.ErrNodeFailed
-		}
-		if err := ctx.Write(addr, data[pos:end]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// ckptRecvLoop is the checkpoint-receive core: it decompresses staged
-// deltas and XOR-applies them to the hosted checkpoint copies
-// (Figure 3 ④).
-func (s *Server) ckptRecvLoop(ctx rdma.Ctx) {
-	l := s.cl.L
-	ib := int(l.Cfg.IndexBytes)
-	deltaBuf := make([]byte, ib)
-	for !s.isStopped() {
-		ctx.Sleep(100 * time.Microsecond)
-		for {
-			s.mu.Lock()
-			if len(s.applyQ) == 0 {
-				s.mu.Unlock()
-				break
-			}
-			job := s.applyQ[0]
-			s.applyQ = s.applyQ[1:]
-			s.mu.Unlock()
-
-			s.memMu.Lock()
-			staging := s.mem[l.CkptStagingOff(job.slot) : l.CkptStagingOff(job.slot)+uint64(job.compLen)]
-			if s.cl.Cfg.CkptRaw {
-				// Raw mode: the staged payload is the full snapshot.
-				hosted := s.mem[l.CkptCopyOff(job.slot) : l.CkptCopyOff(job.slot)+uint64(ib)]
-				copy(hosted, staging)
-				binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
-				s.memMu.Unlock()
-				s.mu.Lock()
-				s.ckptApplies++
-				s.mu.Unlock()
-				ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
-				continue
-			}
-			n, err := lz4.Decompress(deltaBuf, staging)
-			s.memMu.Unlock()
-			if err != nil || n != ib {
-				continue // torn staging write (owner died mid-send)
-			}
-			ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Decompress))
-			s.memMu.Lock()
-			hosted := s.mem[l.CkptCopyOff(job.slot) : l.CkptCopyOff(job.slot)+uint64(ib)]
-			erasure.XorInto(hosted, deltaBuf)
-			binary.LittleEndian.PutUint64(s.mem[l.CkptVersionOff(job.slot):], job.version)
-			s.memMu.Unlock()
-			s.mu.Lock()
-			s.ckptApplies++
-			s.mu.Unlock()
-			ctx.UseCPU(rdma.CoreCkptRecv, cpuTime(ib, s.cl.Cfg.Rates.Memcpy))
-		}
-	}
-}
+// ckptSendLoop and ckptRecvLoop — the differential checkpoint
+// pipeline's send and receive cores — live in ckpt.go.
 
 // metaSyncLoop asynchronously replicates dirty Meta Area records and
 // bitmaps to the successor MNs (§3.1: simple replication suffices for

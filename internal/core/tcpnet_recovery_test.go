@@ -12,10 +12,13 @@ import (
 // newTCPTestCluster boots a full coding group in-process on the real
 // TCP transport (tcpnet group mode): every MN serves its own loopback
 // listener and all verbs cross real sockets.
-func newTCPTestCluster(t *testing.T) (*tcpnet.Platform, *Cluster) {
+func newTCPTestCluster(t *testing.T, mutate func(*Config)) (*tcpnet.Platform, *Cluster) {
 	t.Helper()
 	cfg := testConfig()
 	cfg.CkptInterval = 40 * time.Millisecond
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	pl := tcpnet.NewGroup()
 	pl.SetOptions(tcpnet.Options{
 		OpTimeout:   500 * time.Millisecond,
@@ -62,7 +65,7 @@ func runTCPClient(t *testing.T, pl *tcpnet.Platform, cl *Cluster, fn func(*Clien
 // post-checkpoint blocks, and tier 3 reconstructs the Block Area from
 // stripe survivors in the background.
 func TestTCPNetTieredRecovery(t *testing.T) {
-	pl, cl := newTCPTestCluster(t)
+	pl, cl := newTCPTestCluster(t, nil)
 	cl.Master().AddSpare()
 
 	const preCkpt, postCkpt = 600, 150
@@ -174,7 +177,7 @@ func TestTCPNetTieredRecovery(t *testing.T) {
 // over the admin RPC); the transparent retry layer must absorb all of
 // it with no lost or corrupted pairs.
 func TestTCPNetChaosWorkload(t *testing.T) {
-	pl, cl := newTCPTestCluster(t)
+	pl, cl := newTCPTestCluster(t, nil)
 	runTCPClient(t, pl, cl, func(c *Client) {
 		cfg := rdma.ChaosConfig{
 			Seed:      7,

@@ -32,6 +32,13 @@ type Config struct {
 	// MetaReplicas is how many successor MNs hold a replica of this
 	// MN's Meta Area (§3.1: simple replication suffices for metadata).
 	MetaReplicas int
+	// CkptSegments splits the index into fixed-size segments for
+	// differential checkpointing: the sender tracks dirty segments and
+	// ships only those, as a framed list of per-segment records. 0 or 1
+	// means a single segment covering the whole index, which reproduces
+	// the full-image pipeline shape (the Figure 1(b)/Fig 17 ablation
+	// baseline). Values above the bucket count are clamped.
+	CkptSegments int
 }
 
 // Validate checks the configuration for internal consistency.
@@ -55,8 +62,24 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("layout: checkpoint hosts %d out of range", c.CkptHosts)
 	case c.MetaReplicas < 1 || c.MetaReplicas >= c.NumMNs:
 		return fmt.Errorf("layout: meta replicas %d out of range", c.MetaReplicas)
+	case c.CkptSegments < 0:
+		return fmt.Errorf("layout: checkpoint segments %d negative", c.CkptSegments)
 	}
 	return nil
+}
+
+// ckptSegments resolves the effective segment count: 0 means 1 (the
+// full-image ablation shape), and counts beyond one bucket per segment
+// are clamped to the bucket count.
+func (c *Config) ckptSegments() int {
+	segs := c.CkptSegments
+	if segs <= 0 {
+		segs = 1
+	}
+	if buckets := int(c.IndexBytes / BucketSize); segs > buckets {
+		segs = buckets
+	}
+	return segs
 }
 
 // K returns the number of data shards per stripe.
@@ -79,6 +102,9 @@ type Layout struct {
 	blocksOff   uint64
 	memBytes    uint64
 	bitmapBytes uint64
+	segSize     uint64 // checkpoint segment size (all but possibly the last)
+	segCount    int    // checkpoint segment count
+	stagingSize uint64 // checkpoint staging region size, per hosted slot
 }
 
 // NewLayout computes the layout for a validated config.
@@ -91,7 +117,21 @@ func NewLayout(cfg Config) (*Layout, error) {
 	l.bitmapBytes = cfg.BlockSize / 512
 	blocks := uint64(cfg.BlocksPerMN())
 	l.metaSize = blocks * (RecordSize + l.bitmapBytes)
-	l.ckptSlot = l.indexArea + uint64(lz4.CompressBound(int(cfg.IndexBytes))) + 64
+	// Checkpoint segments: ceil(buckets/segments) buckets per segment,
+	// so every segment is bucket-aligned and the last may be shorter.
+	segs := uint64(cfg.ckptSegments())
+	buckets := cfg.IndexBytes / BucketSize
+	l.segSize = (buckets + segs - 1) / segs * BucketSize
+	l.segCount = int((cfg.IndexBytes + l.segSize - 1) / l.segSize)
+	// The staging region must hold the worst-case checkpoint frame: a
+	// header plus, for every segment, a record and its compressed
+	// payload at the LZ4 expansion bound.
+	l.stagingSize = CkptFrameHeaderSize
+	for i := 0; i < l.segCount; i++ {
+		l.stagingSize += CkptFrameRecordSize + uint64(lz4.CompressBound(int(l.CkptSegLen(i))))
+	}
+	l.stagingSize += 64 // padding
+	l.ckptSlot = l.indexArea + l.stagingSize
 	l.metaOff = l.indexArea
 	l.ckptOff = l.metaOff + l.metaSize
 	l.metaRepOff = l.ckptOff + uint64(cfg.CkptHosts)*l.ckptSlot
@@ -147,7 +187,26 @@ func (l *Layout) KVSlotsPerBlock(sizeClass uint8) int {
 // MN i's index checkpoint is hosted by its CkptHosts successors on the
 // ring; host h of MN i is MN (i+1+h) mod n. Each hosted slot holds a
 // full index copy (with its version word) plus a staging region for
-// the incoming compressed delta.
+// the incoming checkpoint frame (a framed list of per-segment delta
+// records; see DESIGN.md §8).
+
+// Checkpoint frame geometry. A frame is
+//
+//	header | record * segCount | payload * segCount
+//
+// with fixed-size little-endian header and records; payloads are
+// concatenated in strictly ascending segment order.
+const (
+	// CkptFrameMagic marks the start of a checkpoint frame header.
+	CkptFrameMagic = 0x41436b50 // "ACkP"
+	// CkptFrameHeaderSize is the frame header length: magic u32,
+	// record count u32, round u64, frame sequence u64, total frame
+	// length u32, CRC-32C of everything after the header u32.
+	CkptFrameHeaderSize = 32
+	// CkptFrameRecordSize is the per-segment record length: segment
+	// u32, rawLen u32, compLen u32, flags u32.
+	CkptFrameRecordSize = 16
+)
 
 // CkptHostOf returns the h-th checkpoint host of MN i.
 func (l *Layout) CkptHostOf(mn, h int) int { return (mn + 1 + h) % l.Cfg.NumMNs }
@@ -176,12 +235,35 @@ func (l *Layout) CkptCopyOff(h int) uint64 { return l.ckptOff + uint64(h)*l.ckpt
 // word within slot h.
 func (l *Layout) CkptVersionOff(h int) uint64 { return l.CkptCopyOff(h) + l.Cfg.IndexBytes }
 
-// CkptStagingOff returns the offset of the compressed-delta staging
+// CkptStagingOff returns the offset of the checkpoint-frame staging
 // region of slot h; CkptStagingBytes its length.
 func (l *Layout) CkptStagingOff(h int) uint64 { return l.CkptCopyOff(h) + l.indexArea }
-func (l *Layout) CkptStagingBytes() uint64 {
-	return uint64(lz4.CompressBound(int(l.Cfg.IndexBytes))) + 64
+func (l *Layout) CkptStagingBytes() uint64    { return l.stagingSize }
+
+// CkptSegCount returns the number of checkpoint segments the index is
+// split into.
+func (l *Layout) CkptSegCount() int { return l.segCount }
+
+// CkptSegSize returns the nominal segment size (every segment but
+// possibly the last; see CkptSegLen).
+func (l *Layout) CkptSegSize() uint64 { return l.segSize }
+
+// CkptSegOff returns the index-area offset where segment i starts.
+func (l *Layout) CkptSegOff(i int) uint64 { return uint64(i) * l.segSize }
+
+// CkptSegLen returns the length of segment i (the last segment may be
+// shorter than CkptSegSize when the bucket count does not divide
+// evenly).
+func (l *Layout) CkptSegLen(i int) uint64 {
+	off := l.CkptSegOff(i)
+	if off+l.segSize > l.Cfg.IndexBytes {
+		return l.Cfg.IndexBytes - off
+	}
+	return l.segSize
 }
+
+// CkptSegOfOff returns the segment containing index-area offset off.
+func (l *Layout) CkptSegOfOff(off uint64) int { return int(off / l.segSize) }
 
 // --- Meta replica area ---
 // MN i's Meta Area is replicated on its MetaReplicas successors;

@@ -33,8 +33,12 @@ const (
 	minMatch = 4
 	// The last match must start at least this many bytes before the
 	// end of the block, per the format's parsing restrictions.
-	mfLimit    = 12
-	hashLog    = 16
+	mfLimit = 12
+	// 8K hash entries keep the 32 KB match table small enough to live
+	// on the compressor's stack frame: Compress must not heap-allocate,
+	// because the checkpoint pipeline calls it on every segment of
+	// every round and guarantees allocation-free steady state.
+	hashLog    = 13
 	hashShift  = 64 - hashLog
 	hashPrime  = 889523592379 // large prime for 5-byte hashing, per reference impl
 	maxOffset  = 65535

@@ -1,0 +1,28 @@
+package lz4
+
+import "testing"
+
+// TestCompressDecompressNoAllocs pins the allocation-free contract the
+// checkpoint pipeline depends on: with a dst at CompressBound capacity,
+// Compress and Decompress must not touch the heap (in particular the
+// match table must stay on the stack).
+func TestCompressDecompressNoAllocs(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	comp := make([]byte, 0, CompressBound(len(src)))
+	if n := testing.AllocsPerRun(20, func() {
+		comp = Compress(comp[:0], src)
+	}); n != 0 {
+		t.Fatalf("Compress allocates %.1f objects per call, want 0", n)
+	}
+	dec := make([]byte, len(src))
+	if n := testing.AllocsPerRun(20, func() {
+		if m, err := Decompress(dec, comp); err != nil || m != len(src) {
+			t.Errorf("decompress: n=%d err=%v", m, err)
+		}
+	}); n != 0 {
+		t.Fatalf("Decompress allocates %.1f objects per call, want 0", n)
+	}
+}

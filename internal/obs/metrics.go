@@ -335,3 +335,13 @@ func (p *Platform) TransportStats() rdma.TransportStats {
 	}
 	return rdma.TransportStats{}
 }
+
+// SetWriteObserver implements rdma.WriteObserver by delegation (false
+// when the inner fabric cannot report remote mutations, so callers
+// fall back to treating everything as dirty).
+func (p *Platform) SetWriteObserver(node rdma.NodeID, fn func(off, n uint64)) bool {
+	if wo, ok := p.inner.(rdma.WriteObserver); ok {
+		return wo.SetWriteObserver(node, fn)
+	}
+	return false
+}

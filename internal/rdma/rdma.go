@@ -296,6 +296,25 @@ type TransportStatsSource interface {
 	TransportStats() TransportStats
 }
 
+// WriteObserver is implemented by fabrics that can report remote
+// mutations of a memory node's registered region: one-sided WRITEs,
+// successful CAS swaps and FAA updates. The MN server installs an
+// observer to track dirty checkpoint segments at the source instead of
+// diffing the whole index every round. Store code type-asserts a
+// Platform to reach it, exactly like FaultInjector.
+type WriteObserver interface {
+	// SetWriteObserver installs fn (or, with nil, clears it) on a node
+	// this process serves. fn is called with the byte range [off,
+	// off+n) after each remote mutation lands; it may run on fabric
+	// executor goroutines concurrently with anything, so it must be
+	// fast, non-blocking and internally synchronised (atomic bitmap
+	// updates). It returns whether an observer is actually wired up —
+	// wrappers that cannot reach a WriteObserver underneath return
+	// false, and callers must then fall back to treating everything as
+	// dirty.
+	SetWriteObserver(node NodeID, fn func(off, n uint64)) bool
+}
+
 // NopLocker is a no-op sync.Locker for fabrics whose scheduling
 // already serialises memory access.
 type NopLocker struct{}
@@ -308,7 +327,9 @@ func (NopLocker) Unlock() {}
 
 // CPU core roles on a memory node, matching the paper's assignment
 // (§4.1): one core each for RPC serving, erasure coding, checkpoint
-// sending and checkpoint receiving.
+// sending and checkpoint receiving. Checkpoint compression workers,
+// when configured, occupy additional cores starting at NumMNCores
+// (see CoreCkptWorker).
 const (
 	CoreRPC = iota
 	CoreErasure
@@ -316,3 +337,10 @@ const (
 	CoreCkptRecv
 	NumMNCores
 )
+
+// CoreCkptWorker returns the core index of the i-th checkpoint
+// compression worker. Worker cores sit after the four fixed roles, so
+// a node that runs w workers is sized with NumMNCores+w CPU cores and
+// simulated fabrics charge worker compression as real per-core
+// contention.
+func CoreCkptWorker(i int) int { return NumMNCores + i }
