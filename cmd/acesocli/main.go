@@ -241,6 +241,17 @@ func printMNStats(c *core.Client, mn int) {
 	enc.Add("queued", float64(st.EncodeQueue))
 	enc.Add("reclaimed", float64(st.Reclaimed))
 	enc.Add("bitsApplied", float64(st.BitsApplied))
+	enc.Add("encBatches", float64(st.ECEncodeBatches))
+	enc.Add("encMB", float64(st.ECEncodeBytes)/1e6)
+	enc.Add("encMs", float64(st.ECEncodeNs)/1e6)
+	if st.ECEncodeNs > 0 {
+		enc.Add("encGBps", float64(st.ECEncodeBytes)/float64(st.ECEncodeNs))
+	}
+	enc.Add("decMB", float64(st.ECDecodeBytes)/1e6)
+	enc.Add("decMs", float64(st.ECDecodeNs)/1e6)
+	if st.ECDecodeNs > 0 {
+		enc.Add("decGBps", float64(st.ECDecodeBytes)/float64(st.ECDecodeNs))
+	}
 	fmt.Print(stats.Table(fmt.Sprintf("mn%d erasure coding / reclamation", st.MN), enc))
 	pool := &stats.Series{Name: "blocks"}
 	pool.Add("total", float64(st.PoolBlocks))

@@ -55,6 +55,7 @@ func main() {
 	ckpt := flag.Duration("ckpt", cfg.CkptInterval, "checkpoint interval")
 	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match on every daemon and client; 1 = full-image rounds)")
 	flag.IntVar(&cfg.CkptWorkers, "ckpt-workers", cfg.CkptWorkers, "checkpoint compression worker cores per MN (0 = inline on the send core)")
+	flag.IntVar(&cfg.ECWorkers, "ec-workers", cfg.ECWorkers, "erasure worker cores per MN for banded encode/reconstruct kernels (0 = inline on the erasure core)")
 	opt := tcpnet.Options{}.WithDefaults()
 	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
 	flag.DurationVar(&opt.OpTimeout, "op-timeout", opt.OpTimeout, "per-verb I/O deadline before a retry")
@@ -132,6 +133,11 @@ func serverGauges(st core.ServerStats) map[string]float64 {
 		"encode_batches_total":        float64(st.EncodeJobs),
 		"encode_drops_total":          float64(st.EncodeDrops),
 		"encode_queue":                float64(st.EncodeQueue),
+		"ec_encode_bytes_total":       float64(st.ECEncodeBytes),
+		"ec_encode_seconds_total":     float64(st.ECEncodeNs) / 1e9,
+		"ec_encode_batches_total":     float64(st.ECEncodeBatches),
+		"ec_decode_bytes_total":       float64(st.ECDecodeBytes),
+		"ec_decode_seconds_total":     float64(st.ECDecodeNs) / 1e9,
 		"pool_blocks":                 float64(st.PoolBlocks),
 		"pool_blocks_free":            float64(st.PoolFree),
 		"pool_blocks_delta":           float64(st.PoolDelta),

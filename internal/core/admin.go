@@ -72,6 +72,11 @@ func (s *Server) handleAdminStats(_ []byte) ([]byte, time.Duration) {
 	e.u64(st.CkptSegsShipped)
 	e.u64(st.CkptRawBytes)
 	e.u64(st.CkptCPUNs)
+	e.u64(st.ECEncodeBytes)
+	e.u64(st.ECEncodeNs)
+	e.u64(st.ECEncodeBatches)
+	e.u64(st.ECDecodeBytes)
+	e.u64(st.ECDecodeNs)
 	return e.b, 2 * time.Microsecond
 }
 
@@ -111,6 +116,11 @@ func (c *Client) StatsMN(mn int) (ServerStats, error) {
 	st.CkptSegsShipped = d.u64()
 	st.CkptRawBytes = d.u64()
 	st.CkptCPUNs = d.u64()
+	st.ECEncodeBytes = d.u64()
+	st.ECEncodeNs = d.u64()
+	st.ECEncodeBatches = d.u64()
+	st.ECDecodeBytes = d.u64()
+	st.ECDecodeNs = d.u64()
 	return st, nil
 }
 

@@ -88,6 +88,10 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Wall-clock fabrics get their kernel parallelism from the erasure
+	// package's own goroutine pool; the sim-core ecPool only models the
+	// elapsed time. Harmless on simnet (byte results are identical).
+	cl.code.SetWorkers(cfg.ecWorkers())
 	if cl.code.M() != cfg.Layout.ParityShards {
 		return nil, fmt.Errorf("core: code %q has %d parities, layout wants %d",
 			cfg.Code, cl.code.M(), cfg.Layout.ParityShards)
@@ -102,7 +106,7 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	cl.view.indexReady = make([]bool, n)
 	cl.view.blocksReady = make([]bool, n)
 	for i := 0; i < n; i++ {
-		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: l.MemBytes(), CPUCores: rdma.NumMNCores + cfg.ckptWorkers()})
+		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: l.MemBytes(), CPUCores: rdma.NumMNCores + cfg.ckptWorkers() + cfg.ecWorkers()})
 		cl.view.node[i] = node
 		cl.view.indexReady[i] = true
 		cl.view.blocksReady[i] = true

@@ -104,6 +104,12 @@ type Config struct {
 	// each round. 0 keeps all segment processing inline on the
 	// checkpoint-send core (the pre-segmentation behaviour).
 	CkptWorkers int
+	// ECWorkers sizes the erasure worker pool: that many extra MN
+	// cores run banded encode/reconstruct kernels concurrently, so
+	// delta reclamation and recovery decode overlap across cores. 0
+	// keeps all erasure compute inline on the erasure core (the
+	// pre-parallel behaviour).
+	ECWorkers int
 	// DeltaCopies is how many of the stripe's parity MNs receive each
 	// KV's delta write. 0 (the default) means all ParityShards, which
 	// keeps unsealed data recoverable at the full two-failure bound;
@@ -144,6 +150,7 @@ func DefaultConfig() Config {
 		ChunkBytes:       64 << 10,
 		RecoveryPipeline: true,
 		CkptWorkers:      2,
+		ECWorkers:        2,
 		Rates:            DefaultCPURates(),
 	}
 }
@@ -167,6 +174,14 @@ func (c *Config) ckptWorkers() int {
 		return 0
 	}
 	return c.CkptWorkers
+}
+
+// ecWorkers resolves the effective erasure worker-pool size.
+func (c *Config) ecWorkers() int {
+	if c.ECWorkers <= 0 {
+		return 0
+	}
+	return c.ECWorkers
 }
 
 // deltaCopies resolves the effective per-KV delta fan-out.

@@ -46,6 +46,24 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	mem := ctx.LocalMem()
 	start := ctx.Now()
 
+	// Recovery decode runs through its own erasure worker pool on the
+	// replacement node's EC cores (the same cores the replacement
+	// server's pool will use once it starts — UseCPU serialises shared
+	// cores, so the accounting stays honest if tier-3 decode overlaps
+	// the live encoder). The tally folds into the server's counters at
+	// the end, since most decoding happens before the server exists.
+	ecw := 0
+	if rdma.IsVirtual(cl.pl) {
+		ecw = cl.Cfg.ecWorkers()
+	}
+	ec := newECPool(ecw)
+	defer ec.close()
+	for i := 0; i < ec.workers; i++ {
+		core := rdma.CoreECWorker(cl.Cfg.ckptWorkers(), i)
+		cl.pl.Spawn(ctx.Node(), fmt.Sprintf("recover-ecworker%d", i), ec.workerLoop(core))
+	}
+	tally := &ecTally{}
+
 	// abandoned reports that this node died or was re-assigned while
 	// recovery ran; the master retries on another spare.
 	abandoned := func() bool {
@@ -134,7 +152,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 
 	// Decode new local blocks (pipelined reads + XOR, §3.4.1 remark 1).
 	t = ctx.Now()
-	recoverBlocks(ctx, cl, mn, newLocal, recovered)
+	recoverBlocks(ctx, cl, mn, newLocal, recovered, ec, tally)
 	rep.LBlockCount = len(newLocal)
 	rep.RecoverLBlock = ctx.Now() - t
 	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.lblocks", MN: mn, Dur: rep.RecoverLBlock,
@@ -187,7 +205,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 				if !f.ok {
 					continue
 				}
-				out, ok := reconstructLostBlock(ctx, cl, j, b, f)
+				out, ok := reconstructLostBlock(ctx, cl, j, b, f, ec, tally)
 				if !ok {
 					continue
 				}
@@ -293,7 +311,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	if cl.Cfg.RecoveryHelpers > 0 {
 		recoverBlocksWithHelpers(ctx, cl, mn, oldLocal, recovered)
 	} else {
-		recoverBlocks(ctx, cl, mn, oldLocal, recovered)
+		recoverBlocks(ctx, cl, mn, oldLocal, recovered, ec, tally)
 	}
 	rep.OldLBlockCount = len(oldLocal)
 	memMu := cl.pl.MemMutex(ctx.Node())
@@ -305,7 +323,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 		rec := layout.DecodeRecord(mem[off : off+layout.RecordSize])
 		memMu.Unlock()
 		if rec.Role == layout.RoleParity {
-			recoverParityRow(ctx, cl, mn, mem, b, &rec)
+			recoverParityRow(ctx, cl, mn, mem, b, &rec, ec, tally)
 		}
 	}
 	rep.RecoverOldLBlock = ctx.Now() - t
@@ -316,6 +334,7 @@ func runRecovery(ctx rdma.Ctx, cl *Cluster, mn int) *RecoveryReport {
 	cl.view.blocksReady[mn] = true
 	cl.view.epoch++
 	cl.view.mu.Unlock()
+	srv.addECTally(tally)
 	rep.Total = ctx.Now() - start
 	cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "recovery.done", MN: mn, Dur: rep.Total})
 	return rep
@@ -506,7 +525,7 @@ func keyOfEntry(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, atom layout.SlotA
 // (RDMA reads) and decoding (XOR/GF compute) run as a two-stage
 // pipeline (§3.4.1 remark 1): a prefetch process stays one stripe
 // ahead of the decoder.
-func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered map[int]bool) {
+func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered map[int]bool, ec *ecPool, tally *ecTally) {
 	if len(blocks) == 0 {
 		return
 	}
@@ -521,7 +540,7 @@ func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered ma
 			if !f.ok {
 				continue
 			}
-			decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas)
+			decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas, ec, tally)
 			recovered[f.b] = true
 		}
 		return
@@ -573,7 +592,7 @@ func recoverBlocks(ctx rdma.Ctx, cl *Cluster, mn int, blocks []int, recovered ma
 		if !f.ok {
 			continue
 		}
-		decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas)
+		decodeStripeInto(ctx, cl, mn, mem, f.b, f.shards, f.deltas, ec, tally)
 		recovered[f.b] = true
 	}
 }
@@ -654,8 +673,11 @@ func fetchStripe(ctx rdma.Ctx, cl *Cluster, mn, b int) (f fetchedStripe) {
 
 // reconstructLostBlock rebuilds owner's block b from a fetched stripe
 // and returns the data bytes (the shard slice, reused), or false when
-// the erasure pattern exceeds the fault bound.
-func reconstructLostBlock(ctx rdma.Ctx, cl *Cluster, owner, b int, f fetchedStripe) ([]byte, bool) {
+// the erasure pattern exceeds the fault bound. The decode solve is
+// planned once, then the band kernel fans out over the erasure worker
+// pool (ec may be nil: the kernel runs inline on the erasure core, the
+// pre-parallel behaviour).
+func reconstructLostBlock(ctx rdma.Ctx, cl *Cluster, owner, b int, f fetchedStripe, ec *ecPool, tally *ecTally) ([]byte, bool) {
 	l := cl.L
 	stripe := uint32(b)
 	k, m := cl.code.K(), cl.code.M()
@@ -672,10 +694,29 @@ func reconstructLostBlock(ctx rdma.Ctx, cl *Cluster, owner, b int, f fetchedStri
 			liveParity++
 		}
 	}
-	if err := cl.code.Reconstruct(f.shards, present); err != nil {
+	pl, err := cl.code.PlanReconstruct(f.shards, present)
+	if err != nil {
 		return nil, false // beyond the fault bound
 	}
-	ctx.UseCPU(rdma.CoreErasure, cpuTime((k+liveParity)*int(l.Cfg.BlockSize), cl.Cfg.Rates.codeRate(cl.Cfg.Code)))
+	if pl != nil {
+		total := cpuTime((k+liveParity)*int(l.Cfg.BlockSize), cl.Cfg.Rates.codeRate(cl.Cfg.Code))
+		width := pl.Width()
+		elapsed := ec.fanOut(ctx, width, func(lo, hi int) time.Duration {
+			if lo == 0 && hi == width {
+				// Inert pool (wall-clock fabric or no workers): the
+				// whole plan runs here, so let the erasure package's
+				// goroutine pool supply the parallelism.
+				pl.RunPooled(f.shards, cl.Cfg.ecWorkers())
+			} else {
+				pl.Run(f.shards, lo, hi)
+			}
+			return time.Duration(float64(total) * float64(hi-lo) / float64(width))
+		}, rdma.CoreErasure)
+		if tally != nil {
+			tally.decodeBytes += uint64(k+liveParity) * uint64(l.Cfg.BlockSize)
+			tally.decodeNs += uint64(elapsed)
+		}
+	}
 	xid := l.XORIDOf(stripe, owner)
 	out := f.shards[xid]
 	// DATA = enc ⊕ DELTA: fold back the owner's pending delta, if any.
@@ -687,8 +728,8 @@ func reconstructLostBlock(ctx rdma.Ctx, cl *Cluster, owner, b int, f fetchedStri
 
 // decodeStripeInto reconstructs local block b from a fetched stripe
 // and writes it into local memory.
-func decodeStripeInto(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, shards, deltas [][]byte) {
-	out, ok := reconstructLostBlock(ctx, cl, mn, b, fetchedStripe{b: b, shards: shards, deltas: deltas, ok: true})
+func decodeStripeInto(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, shards, deltas [][]byte, ec *ecPool, tally *ecTally) {
+	out, ok := reconstructLostBlock(ctx, cl, mn, b, fetchedStripe{b: b, shards: shards, deltas: deltas, ok: true}, ec, tally)
 	if !ok {
 		return // leave the block zeroed
 	}
@@ -810,7 +851,7 @@ func helperDecodeAndShip(hctx rdma.Ctx, cl *Cluster, mn, b int, f fetchedStripe)
 // functionality is restored — "PARITY blocks will be gradually
 // recovered in the background", §3.4.1) together with the DELTA blocks
 // it tracks, using DELTA_b = DATA_b ⊕ enc_b.
-func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec *layout.Record) {
+func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec *layout.Record, ec *ecPool, tally *ecTally) {
 	// Parity recovery runs after the replacement server went live, so
 	// every touch of local memory (the parity block, rebuilt delta
 	// blocks, records) races with the verb executor and the encoder
@@ -842,6 +883,9 @@ func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec 
 		}
 	}
 
+	// Collect each live data shard's enc view, then fold them all into
+	// the parity in one batched banded pass below.
+	var folds []erasure.ShardDelta
 	for xid, dm := range l.DataMNs(stripe) {
 		_, alive := cl.view.nodeOf(dm)
 		if !alive {
@@ -902,8 +946,25 @@ func recoverParityRow(ctx rdma.Ctx, cl *Cluster, mn int, mem []byte, b int, rec 
 				rec.DeltaAddr[xid] = 0
 			}
 		}
-		cl.code.UpdateOne(int(rec.ParityIdx), parity, xid, 0, enc)
-		ctx.UseCPU(rdma.CoreErasure, cpuTime(2*int(bs), cl.Cfg.Rates.codeRate(cl.Cfg.Code)))
+		folds = append(folds, erasure.ShardDelta{DI: xid, B: enc})
+	}
+	if len(folds) > 0 {
+		total := cpuTime((len(folds)+1)*int(bs), cl.Cfg.Rates.codeRate(cl.Cfg.Code))
+		width := cl.code.BandWidth(len(parity))
+		elapsed := ec.fanOut(ctx, width, func(lo, hi int) time.Duration {
+			if lo == 0 && hi == width {
+				// Inert pool: the batched fold runs whole, through the
+				// erasure package's own goroutine fan-out.
+				cl.code.ApplyDeltas(int(rec.ParityIdx), parity, folds)
+			} else {
+				cl.code.ApplyDeltasBand(int(rec.ParityIdx), parity, folds, lo, hi)
+			}
+			return time.Duration(float64(total) * float64(hi-lo) / float64(width))
+		}, rdma.CoreErasure)
+		if tally != nil {
+			tally.encodeBytes += uint64(len(folds)) * uint64(bs)
+			tally.encodeNs += uint64(elapsed)
+		}
 	}
 	off := l.RecordOff(b)
 	layout.EncodeRecord(mem[off:off+layout.RecordSize], rec)

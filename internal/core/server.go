@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/erasure"
 	"repro/internal/layout"
 	"repro/internal/rdma"
 )
@@ -57,6 +58,11 @@ type Server struct {
 	ckptWorkLeft int
 	ckptWorkNs   uint64
 
+	// ec fans banded erasure kernels (batched delta apply) out over
+	// the erasure worker cores (ecpool.go). Single consumer: the
+	// encoder loop.
+	ec *ecPool
+
 	// reclaimed counts blocks handed out through delta-based
 	// reclamation (observability for the reclamation experiments).
 	reclaimed int
@@ -74,6 +80,11 @@ type Server struct {
 	ckptCPUNs        uint64 // cumulative checkpoint pipeline CPU (send+recv), ns
 	encodeJobs       uint64 // DELTA blocks folded into the local parity
 	encodeDrops      uint64 // DELTA blocks discarded without encoding
+	ecEncodeBytes    uint64 // delta bytes folded into parity by erasure kernels
+	ecEncodeNs       uint64 // elapsed time of parity-apply passes, ns
+	ecEncodeBatches  uint64 // batched parity-apply passes (deltas/pass = jobs/batches)
+	ecDecodeBytes    uint64 // shard bytes consumed reconstructing lost blocks
+	ecDecodeNs       uint64 // elapsed time of reconstruct compute, ns
 }
 
 type encodeJob struct {
@@ -145,6 +156,19 @@ func (s *Server) start() {
 			s.cl.pl.Spawn(s.node, fmt.Sprintf("%s-ckptworker%d", name, i), s.ckptWorkerLoop(i))
 		}
 	}
+	// The erasure worker pool models multi-core elapsed time, so its
+	// sleep-poll workers exist only in virtual time; on wall-clock
+	// fabrics the pool stays inert (fan-outs run inline) and the
+	// erasure package's goroutine pool provides the real parallelism.
+	ecw := 0
+	if rdma.IsVirtual(s.cl.pl) {
+		ecw = s.cl.Cfg.ecWorkers()
+	}
+	s.ec = newECPool(ecw)
+	for i := 0; i < s.ec.workers; i++ {
+		core := rdma.CoreECWorker(s.cl.Cfg.ckptWorkers(), i)
+		s.cl.pl.Spawn(s.node, fmt.Sprintf("%s-ecworker%d", name, i), s.ec.workerLoop(core))
+	}
 }
 
 // stop makes the daemons wind down (used at failure injection).
@@ -152,6 +176,7 @@ func (s *Server) stop() {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	s.ec.close()
 }
 
 func (s *Server) isStopped() bool {
@@ -241,6 +266,12 @@ type ServerStats struct {
 	CkptSegsShipped  uint64 // cumulative segments shipped across all rounds
 	CkptRawBytes     uint64 // uncompressed bytes the shipped segments represent
 	CkptCPUNs        uint64 // cumulative checkpoint pipeline CPU (send+recv), ns
+
+	ECEncodeBytes   uint64 // delta bytes folded into parity through the EC pool
+	ECEncodeNs      uint64 // virtual elapsed time of encode fan-outs, ns
+	ECEncodeBatches uint64 // batched parity folds (stripes per encoder pass)
+	ECDecodeBytes   uint64 // shard bytes read by reconstruct fan-outs
+	ECDecodeNs      uint64 // virtual elapsed time of reconstruct fan-outs, ns
 }
 
 // Stats snapshots the server's counters and scans pool occupancy. On a
@@ -287,8 +318,28 @@ func (s *Server) statsLocked() ServerStats {
 	st.CkptSegsShipped = s.ckptSegsShipped
 	st.CkptRawBytes = s.ckptRawBytes
 	st.CkptCPUNs = s.ckptCPUNs
+	st.ECEncodeBytes = s.ecEncodeBytes
+	st.ECEncodeNs = s.ecEncodeNs
+	st.ECEncodeBatches = s.ecEncodeBatches
+	st.ECDecodeBytes = s.ecDecodeBytes
+	st.ECDecodeNs = s.ecDecodeNs
 	s.mu.Unlock()
 	return st
+}
+
+// addECTally folds erasure compute performed on this server's behalf
+// outside its own processes (tier-3 recovery decode) into its
+// counters.
+func (s *Server) addECTally(t *ecTally) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ecEncodeBytes += t.encodeBytes
+	s.ecEncodeNs += t.encodeNs
+	s.ecDecodeBytes += t.decodeBytes
+	s.ecDecodeNs += t.decodeNs
+	s.mu.Unlock()
 }
 
 // --- RPC dispatch ---
@@ -642,10 +693,21 @@ func (s *Server) handleApplyCkpt(req []byte) ([]byte, time.Duration) {
 // --- daemons ---
 
 // encoderLoop is the erasure-coding core (§3.3.2): it drains encode
-// jobs, folding DELTA blocks into the local PARITY block and freeing
-// them. Record and parity mutations happen in one critical section so
-// degraded readers never observe a delta both encoded and pending.
+// jobs stripe by stripe, folding all of a stripe's queued DELTA blocks
+// into the local PARITY block in one batched pass (the erasure
+// package's ApplyDeltas — one read of the parity for the whole batch
+// instead of one per delta), then freeing the consumed blocks. Record
+// and parity mutations happen in one critical section so degraded
+// readers never observe a delta both encoded and pending; on simnet
+// that atomicity requires no sim operation inside the section, so the
+// fold's modelled CPU cost is charged afterwards — fanned out over the
+// EC worker cores so the virtual elapsed time shrinks with the pool
+// size (wall-clock fabrics get their parallelism from the erasure
+// package's own goroutine pool inside ApplyDeltas).
 func (s *Server) encoderLoop(ctx rdma.Ctx) {
+	var batch []encodeJob
+	var deltas []erasure.ShardDelta
+	var freeBlocks []int
 	for !s.isStopped() {
 		ctx.Sleep(s.cl.Cfg.EncodePoll)
 		for {
@@ -656,48 +718,90 @@ func (s *Server) encoderLoop(ctx rdma.Ctx) {
 				s.memMu.Unlock()
 				break
 			}
-			job := s.encodeQ[0]
-			s.encodeQ = s.encodeQ[1:]
-			cost := s.encodeOne(job)
+			// Claim every queued job of the head stripe: reclamation
+			// retires deltas in bursts, and folding them together reads
+			// the parity block once instead of once per delta.
+			stripe := s.encodeQ[0].stripe
+			batch = batch[:0]
+			rest := s.encodeQ[:0]
+			for _, j := range s.encodeQ {
+				if j.stripe == stripe {
+					batch = append(batch, j)
+				} else {
+					rest = append(rest, j)
+				}
+			}
+			s.encodeQ = rest
+			deltas, freeBlocks = deltas[:0], freeBlocks[:0]
+			s.claimEncodeBatch(stripe, batch, &deltas, &freeBlocks)
+			var encCost time.Duration
+			if len(deltas) > 0 {
+				prec := s.record(int(stripe))
+				parity := s.block(int(stripe))
+				s.cl.code.ApplyDeltas(int(prec.ParityIdx), parity, deltas)
+				encCost = cpuTime((len(deltas)+1)*len(parity), s.cl.Cfg.Rates.codeRate(s.cl.Cfg.Code))
+				s.ecEncodeBytes += uint64(len(deltas)) * uint64(len(parity))
+				s.ecEncodeBatches++
+			}
+			// Zero and free the consumed DELTA blocks.
+			var memCost time.Duration
+			for _, db := range freeBlocks {
+				delta := s.block(db)
+				for i := range delta {
+					delta[i] = 0
+				}
+				memCost += cpuTime(len(delta), s.cl.Cfg.Rates.Memcpy)
+				free := layout.Record{}
+				s.putRecord(db, &free)
+			}
 			s.mu.Unlock()
 			s.memMu.Unlock()
-			if cost > 0 {
-				ctx.UseCPU(rdma.CoreErasure, cost)
+			if encCost > 0 {
+				width := s.cl.code.BandWidth(int(s.cl.L.Cfg.BlockSize))
+				elapsed := s.ec.fanOut(ctx, width, func(lo, hi int) time.Duration {
+					return time.Duration(float64(encCost) * float64(hi-lo) / float64(width))
+				}, rdma.CoreErasure)
+				s.mu.Lock()
+				s.ecEncodeNs += uint64(elapsed)
+				s.mu.Unlock()
+			}
+			if memCost > 0 {
+				ctx.UseCPU(rdma.CoreErasure, memCost)
 			}
 		}
 	}
 }
 
-// encodeOne performs one encode/drop job. Caller holds mu; the
-// returned CPU cost is charged afterwards.
-func (s *Server) encodeOne(job encodeJob) time.Duration {
+// claimEncodeBatch walks one stripe's claimed jobs, marks encoded
+// deltas in the parity record and collects the delta blocks to fold
+// (as full-block ShardDeltas) and to free. Caller holds memMu+mu.
+func (s *Server) claimEncodeBatch(stripe uint32, batch []encodeJob, deltas *[]erasure.ShardDelta, freeBlocks *[]int) {
 	l := s.cl.L
-	prec := s.record(int(job.stripe))
-	if prec.Role != layout.RoleParity || prec.DeltaAddr[job.xorID] == 0 {
-		return 0
+	prec := s.record(int(stripe))
+	if prec.Role != layout.RoleParity {
+		return
 	}
-	_, dOff := layout.UnpackAddr(prec.DeltaAddr[job.xorID])
-	db := l.BlockOfOff(dOff)
-	delta := s.block(db)
-	var cost time.Duration
-	if !job.drop {
-		parity := s.block(int(job.stripe))
-		s.cl.code.UpdateOne(int(prec.ParityIdx), parity, int(job.xorID), 0, delta)
-		prec.XORMap |= 1 << job.xorID
-		cost += cpuTime(2*len(delta), s.cl.Cfg.Rates.codeRate(s.cl.Cfg.Code))
-		s.encodeJobs++
-	} else {
-		s.encodeDrops++
+	changed := false
+	for _, job := range batch {
+		if prec.DeltaAddr[job.xorID] == 0 {
+			continue
+		}
+		_, dOff := layout.UnpackAddr(prec.DeltaAddr[job.xorID])
+		db := l.BlockOfOff(dOff)
+		if job.drop {
+			s.encodeDrops++
+		} else {
+			*deltas = append(*deltas, erasure.ShardDelta{DI: int(job.xorID), B: s.block(db)})
+			prec.XORMap |= 1 << job.xorID
+			s.encodeJobs++
+		}
+		prec.DeltaAddr[job.xorID] = 0
+		*freeBlocks = append(*freeBlocks, db)
+		changed = true
 	}
-	prec.DeltaAddr[job.xorID] = 0
-	s.putRecord(int(job.stripe), &prec)
-	for i := range delta {
-		delta[i] = 0
+	if changed {
+		s.putRecord(int(stripe), &prec)
 	}
-	cost += cpuTime(len(delta), s.cl.Cfg.Rates.Memcpy)
-	free := layout.Record{}
-	s.putRecord(db, &free)
-	return cost
 }
 
 // ckptSendLoop and ckptRecvLoop — the differential checkpoint

@@ -6,19 +6,42 @@ import (
 	"fmt"
 )
 
-// Errors returned by Reconstruct.
+// Errors returned by the coding kernels.
 var (
 	// ErrTooManyMissing reports more missing shards than the code's
 	// parity count can recover.
 	ErrTooManyMissing = errors.New("erasure: too many missing shards")
 	// ErrShardSize reports shards of unequal or unusable length.
 	ErrShardSize = errors.New("erasure: bad shard size")
+	// ErrPresent reports a present vector whose length does not match
+	// the code's shard count — caller misuse, as opposed to data loss
+	// (ErrTooManyMissing) or a bad shard matrix (ErrShardSize).
+	ErrPresent = errors.New("erasure: bad present vector")
 )
+
+// ShardDelta is one pending data-shard change for batched parity
+// application: B holds old⊕new of the byte range [Off, Off+len(B)) of
+// data shard DI. A slice of these is what delta-based reclamation
+// hands the kernels, so many KV deltas fold into a parity shard in one
+// pass over the parity (ApplyDeltas) instead of one pass per delta.
+type ShardDelta struct {
+	DI  int
+	Off int
+	B   []byte
+}
 
 // Code is a systematic linear erasure code over k equal-size data
 // blocks and m parity blocks. All methods operate on whole shards of
 // one stripe; shards must be the same length (for the XOR code, a
-// multiple of SegmentsPerBlock).
+// multiple of SegmentAlign).
+//
+// Banded kernels: every heavy method has a band form that operates on
+// the column range [lo, hi) of the code's band dimension (BandWidth).
+// Bands are disjoint — no two bands read or write the same parity
+// byte — so callers may fan bands out over workers with no further
+// synchronisation. The whole-shard methods do this internally through
+// the package worker pool when SetWorkers on the concrete type asks
+// for it.
 type Code interface {
 	// Name identifies the code ("xor" or "rs") in reports.
 	Name() string
@@ -27,8 +50,11 @@ type Code interface {
 	// M returns the number of parity shards per stripe.
 	M() int
 	// Encode computes all parity shards from the data shards.
-	// len(data) == K(), len(parity) == M().
-	Encode(data, parity [][]byte)
+	// len(data) == K(), len(parity) == M(). It validates the shard
+	// matrix (counts, equal lengths, SegmentAlign multiples) and
+	// reports ErrShardSize-wrapped errors for mismatched inputs that
+	// would otherwise silently corrupt parity.
+	Encode(data, parity [][]byte) error
 	// Update folds a change to data shard di into the parity shards:
 	// delta is old⊕new of the byte range [off, off+len(delta)) of that
 	// shard. This is the linearity property (§3.3.3): parity follows
@@ -40,14 +66,36 @@ type Code interface {
 	// independently (§3.3.2), so per-parity application is the form
 	// the servers actually use.
 	UpdateOne(pi int, parity []byte, di int, off int, delta []byte)
+	// ApplyDeltas folds every delta into parity shard pi in one pass
+	// over the parity — the batched form of UpdateOne that delta-based
+	// reclamation uses to retire many DELTA blocks together.
+	ApplyDeltas(pi int, parity []byte, deltas []ShardDelta)
+	// ApplyDeltasBand is ApplyDeltas restricted to the band [lo, hi)
+	// of BandWidth(len(parity)); bands are disjoint across workers.
+	ApplyDeltasBand(pi int, parity []byte, deltas []ShardDelta, lo, hi int)
+	// BandWidth returns the length of the band dimension for shards of
+	// n bytes: the segment size for array codes (every segment's
+	// column range [lo, hi) is touched by band [lo, hi)), n itself for
+	// codes with no internal layout.
+	BandWidth(n int) int
 	// Reconstruct recomputes the missing shards in place. shards holds
 	// the K data shards followed by the M parity shards; present[i]
 	// tells whether shards[i] survived. Missing shards must be
 	// pre-allocated (their contents are ignored and overwritten).
 	Reconstruct(shards [][]byte, present []bool) error
+	// PlanReconstruct validates the erasure pattern and performs the
+	// solver elimination once, returning a Plan whose Run applies pure
+	// banded XOR/GF work — the form callers fan out over worker pools.
+	// A nil Plan (and nil error) means nothing is missing.
+	PlanReconstruct(shards [][]byte, present []bool) (*Plan, error)
 	// SegmentAlign returns the required shard-length multiple (1 for
 	// codes with no internal layout).
 	SegmentAlign() int
+	// SetWorkers sets the wall-clock fan-out for whole-shard kernels
+	// (Encode, ApplyDeltas, Reconstruct): bands are dispatched to the
+	// package worker pool when n > 1 and the shards are wide enough.
+	// 0 or 1 keeps every kernel on the calling goroutine.
+	SetWorkers(n int)
 }
 
 // xorBytes computes dst[i] ^= src[i] over the overlapping length.
@@ -77,8 +125,11 @@ func XorInto(dst, src []byte) { xorBytes(dst, src) }
 // checkShards validates a shard matrix for a code.
 func checkShards(c Code, shards [][]byte, present []bool) (size int, missing []int, err error) {
 	want := c.K() + c.M()
-	if len(shards) != want || len(present) != want {
+	if len(shards) != want {
 		return 0, nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), want)
+	}
+	if len(present) != want {
+		return 0, nil, fmt.Errorf("%w: got %d entries, want %d", ErrPresent, len(present), want)
 	}
 	size = -1
 	for i, s := range shards {
@@ -98,6 +149,35 @@ func checkShards(c Code, shards [][]byte, present []bool) (size int, missing []i
 		return 0, nil, fmt.Errorf("%w: %d missing, parity %d", ErrTooManyMissing, len(missing), c.M())
 	}
 	return size, missing, nil
+}
+
+// checkEncode validates an Encode call's shard matrix: counts, equal
+// lengths, SegmentAlign multiples. It allocates nothing on the success
+// path — the encode path is pinned at 0 allocs/op.
+func checkEncode(c Code, data, parity [][]byte) (size int, err error) {
+	if len(data) != c.K() {
+		return 0, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), c.K())
+	}
+	if len(parity) != c.M() {
+		return 0, fmt.Errorf("%w: got %d parity shards, want %d", ErrShardSize, len(parity), c.M())
+	}
+	size = -1
+	for i, s := range data {
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: data shard %d has %d bytes, others %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	for i, s := range parity {
+		if len(s) != size {
+			return 0, fmt.Errorf("%w: parity shard %d has %d bytes, data %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size%c.SegmentAlign() != 0 {
+		return 0, fmt.Errorf("%w: %d not a multiple of %d", ErrShardSize, size, c.SegmentAlign())
+	}
+	return size, nil
 }
 
 // zero clears a byte slice.

@@ -33,7 +33,9 @@ func makeStripe(c Code, size int, seed int64) (data, parity, all [][]byte) {
 	for i := 0; i < c.M(); i++ {
 		parity = append(parity, make([]byte, size))
 	}
-	c.Encode(data, parity)
+	if err := c.Encode(data, parity); err != nil {
+		panic(err)
+	}
 	all = append(append([][]byte{}, data...), parity...)
 	return
 }
@@ -137,7 +139,9 @@ func TestUpdateLinearity(t *testing.T) {
 				for i := range fresh {
 					fresh[i] = make([]byte, size)
 				}
-				c.Encode(data, fresh)
+				if err := c.Encode(data, fresh); err != nil {
+					t.Fatal(err)
+				}
 				for i := range fresh {
 					if !bytes.Equal(fresh[i], parity[i]) {
 						t.Fatalf("%s k=%d trial %d: parity %d diverged after delta update", c.Name(), k, trial, i)
@@ -182,7 +186,9 @@ func TestZeroDataZeroParity(t *testing.T) {
 			data[i] = make([]byte, size)
 		}
 		parity := [][]byte{make([]byte, size), make([]byte, size)}
-		c.Encode(data, parity)
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatal(err)
+		}
 		for i := range parity {
 			for _, b := range parity[i] {
 				if b != 0 {
@@ -275,9 +281,12 @@ func benchEncode(b *testing.B, c Code, blockSize int) {
 		parity[i] = make([]byte, blockSize)
 	}
 	b.SetBytes(int64(c.K() * blockSize))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Encode(data, parity)
+		if err := c.Encode(data, parity); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

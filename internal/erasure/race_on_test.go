@@ -1,0 +1,8 @@
+//go:build race
+
+package erasure
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops Puts at random under race, so zero-alloc pins
+// cannot hold and are skipped.
+const raceEnabled = true

@@ -8,8 +8,14 @@ import "fmt"
 // Any one or two lost shards are recoverable. It is the GF-based
 // comparator of Table 2: correct but slower than the XOR-only code
 // because encoding and reconstruction perform GF multiplications.
+//
+// RS shards have no internal segment layout, so the band dimension is
+// the shard itself: band [lo, hi) reads and writes bytes [lo, hi) of
+// every shard, and SetWorkers fans whole-shard kernels out over the
+// package worker pool.
 type RSCode struct {
-	k, m int
+	k, m    int
+	workers int
 }
 
 // NewRS creates a Reed-Solomon code with k data shards and m parity
@@ -33,16 +39,47 @@ func (c *RSCode) M() int { return c.m }
 // SegmentAlign implements Code.
 func (c *RSCode) SegmentAlign() int { return 1 }
 
+// BandWidth implements Code: no internal layout, bands are byte ranges.
+func (c *RSCode) BandWidth(n int) int { return n }
+
+// SetWorkers sets the wall-clock fan-out for whole-shard kernels
+// (clamped per call by band width; ≤1 keeps everything on the caller).
+func (c *RSCode) SetWorkers(n int) { c.workers = n }
+
 // coef returns the encoding coefficient of data shard di in parity row
 // pi.
 func (c *RSCode) coef(pi, di int) byte { return gfPow(pi * di) }
 
 // Encode implements Code.
-func (c *RSCode) Encode(data, parity [][]byte) {
+func (c *RSCode) Encode(data, parity [][]byte) error {
+	size, err := checkEncode(c, data, parity)
+	if err != nil {
+		return err
+	}
+	nw := poolWorkers(c.workers, size)
+	if nw <= 1 {
+		c.encodeBand(data, parity, 0, size)
+		return nil
+	}
+	shared.mu.Lock()
+	shared.job.kind = jobRSEncode
+	shared.job.rc = c
+	shared.job.data = data
+	shared.job.parity = parity
+	shared.fanOut(size, nw)
+	shared.mu.Unlock()
+	return nil
+}
+
+// encodeBand computes bytes [lo, hi) of every parity shard.
+func (c *RSCode) encodeBand(data, parity [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
 	for pi := 0; pi < c.m; pi++ {
-		zero(parity[pi])
+		zero(parity[pi][lo:hi])
 		for di := 0; di < c.k; di++ {
-			gfMulSliceXor(c.coef(pi, di), parity[pi], data[di])
+			gfMulSliceXor(c.coef(pi, di), parity[pi][lo:hi], data[di][lo:hi])
 		}
 	}
 }
@@ -59,47 +96,87 @@ func (c *RSCode) UpdateOne(pi int, parity []byte, di int, off int, delta []byte)
 	gfMulSliceXor(c.coef(pi, di), parity[off:off+len(delta)], delta)
 }
 
-// Reconstruct implements Code. It solves the parity equations over
-// GF(2^8) with the missing shards as unknowns, handling any mix of lost
-// data and parity shards.
-func (c *RSCode) Reconstruct(shards [][]byte, present []bool) error {
+// ApplyDeltas implements Code.
+func (c *RSCode) ApplyDeltas(pi int, parity []byte, deltas []ShardDelta) {
+	nw := poolWorkers(c.workers, len(parity))
+	if nw <= 1 {
+		c.applyDeltasBand(pi, parity, deltas, 0, len(parity))
+		return
+	}
+	shared.mu.Lock()
+	shared.job.kind = jobRSApply
+	shared.job.rc = c
+	shared.job.pi = pi
+	shared.job.pshard = parity
+	shared.job.deltas = deltas
+	shared.fanOut(len(parity), nw)
+	shared.mu.Unlock()
+}
+
+// ApplyDeltasBand implements Code.
+func (c *RSCode) ApplyDeltasBand(pi int, parity []byte, deltas []ShardDelta, lo, hi int) {
+	if hi > len(parity) {
+		hi = len(parity)
+	}
+	c.applyDeltasBand(pi, parity, deltas, lo, hi)
+}
+
+func (c *RSCode) applyDeltasBand(pi int, parity []byte, deltas []ShardDelta, lo, hi int) {
+	for _, d := range deltas {
+		a, b := d.Off, d.Off+len(d.B)
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			continue
+		}
+		gfMulSliceXor(c.coef(pi, d.DI), parity[a:b], d.B[a-d.Off:b-d.Off])
+	}
+}
+
+// PlanReconstruct implements Code. The parity system over GF(2^8) is
+// eliminated symbolically: rows carry coefficient vectors over the
+// unknown shards while a mirrored lambda matrix tracks each row as a
+// combination of the original equations. Solved shard mi then equals
+// Σ_s (Σ_e λ[e]·coef(e,s)) · shard_s over the present shards — flat
+// per-shard coefficients, applied bandwise with no solver buffers.
+func (c *RSCode) PlanReconstruct(shards [][]byte, present []bool) (*Plan, error) {
 	size, missing, err := checkShards(c, shards, present)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(missing) == 0 {
-		return nil
+		return nil, nil
 	}
-	varOf := make(map[int]int, len(missing))
-	for _, mi := range missing {
-		varOf[mi] = len(varOf)
+	// coefOf covers every shard: data coefficients from the generator
+	// matrix, identity for the parity shard of the same equation.
+	coefOf := func(pi, shard int) byte {
+		if shard >= c.k {
+			if shard-c.k == pi {
+				return 1
+			}
+			return 0
+		}
+		return c.coef(pi, shard)
 	}
-	nvars := len(varOf)
-
-	// Equation for parity row pi: parity_pi ^ sum_di coef*D_di = 0.
-	// Build rows of coefficients over unknowns plus a RHS byte-slice of
-	// the known contributions.
-	var rows [][]byte // coefficient vectors, one per equation
-	var rhs [][]byte
+	nvars := len(missing)
+	rows := make([][]byte, c.m) // coefficient vectors over unknowns
+	lam := make([][]byte, c.m)  // rows[r] = Σ_e lam[r][e] · equation_e
 	for pi := 0; pi < c.m; pi++ {
 		row := make([]byte, nvars)
-		b := make([]byte, size)
-		add := func(shard int, cf byte) {
-			if v, ok := varOf[shard]; ok {
-				row[v] ^= cf
-			} else {
-				gfMulSliceXor(cf, b, shards[shard])
-			}
+		for i, mi := range missing {
+			row[i] = coefOf(pi, mi)
 		}
-		add(c.k+pi, 1)
-		for di := 0; di < c.k; di++ {
-			add(di, c.coef(pi, di))
-		}
-		rows = append(rows, row)
-		rhs = append(rhs, b)
+		l := make([]byte, c.m)
+		l[pi] = 1
+		rows[pi] = row
+		lam[pi] = l
 	}
 
-	// Gauss-Jordan over GF(2^8).
+	// Gauss-Jordan over GF(2^8), mirroring every row operation on lam.
 	pivotRow := make([]int, nvars)
 	nextRow := 0
 	for v := 0; v < nvars; v++ {
@@ -111,33 +188,62 @@ func (c *RSCode) Reconstruct(shards [][]byte, present []bool) error {
 			}
 		}
 		if sel == -1 {
-			return fmt.Errorf("erasure: rs reconstruction singular (missing %v)", missing)
+			return nil, fmt.Errorf("erasure: rs reconstruction singular (missing %v)", missing)
 		}
 		rows[sel], rows[nextRow] = rows[nextRow], rows[sel]
-		rhs[sel], rhs[nextRow] = rhs[nextRow], rhs[sel]
-		// Normalise the pivot row.
+		lam[sel], lam[nextRow] = lam[nextRow], lam[sel]
 		if inv := gfInv(rows[nextRow][v]); inv != 1 {
 			for j := range rows[nextRow] {
 				rows[nextRow][j] = gfMul(rows[nextRow][j], inv)
 			}
-			tmp := make([]byte, size)
-			gfMulSlice(inv, tmp, rhs[nextRow])
-			rhs[nextRow] = tmp
+			for j := range lam[nextRow] {
+				lam[nextRow][j] = gfMul(lam[nextRow][j], inv)
+			}
 		}
-		for r := 0; r < len(rows); r++ {
+		for r := range rows {
 			if r != nextRow && rows[r][v] != 0 {
 				cf := rows[r][v]
 				for j := range rows[r] {
 					rows[r][j] ^= gfMul(cf, rows[nextRow][j])
 				}
-				gfMulSliceXor(cf, rhs[r], rhs[nextRow])
+				for j := range lam[r] {
+					lam[r][j] ^= gfMul(cf, lam[nextRow][j])
+				}
 			}
 		}
 		pivotRow[v] = nextRow
 		nextRow++
 	}
-	for shard, v := range varOf {
-		copy(shards[shard], rhs[pivotRow[v]])
+
+	pl := &Plan{width: size}
+	for i, mi := range missing {
+		l := lam[pivotRow[i]]
+		var terms []rsTerm
+		for s := 0; s < c.k+c.m; s++ {
+			if !present[s] {
+				continue
+			}
+			var cf byte
+			for e := 0; e < c.m; e++ {
+				cf ^= gfMul(l[e], coefOf(e, s))
+			}
+			if cf != 0 {
+				terms = append(terms, rsTerm{cf: cf, src: s})
+			}
+		}
+		pl.rsTargets = append(pl.rsTargets, mi)
+		pl.rsTerms = append(pl.rsTerms, terms)
 	}
+	return pl, nil
+}
+
+// Reconstruct implements Code: solve once, apply bandwise (fanned out
+// over the pool when configured).
+func (c *RSCode) Reconstruct(shards [][]byte, present []bool) error {
+	pl, err := c.PlanReconstruct(shards, present)
+	if err != nil || pl == nil {
+		return err
+	}
+	runPlanPooled(pl, shards, c.workers)
 	return nil
 }

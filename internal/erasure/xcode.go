@@ -15,8 +15,13 @@ import "fmt"
 // equal-property EVENODD layout (see XorCode) that matches Aceso's
 // DATA/PARITY block metadata. X-Code is provided for kernel
 // benchmarking and as a faithful implementation of the cited code.
+//
+// Kernels are banded on the within-segment column range like XorCode's
+// (a band touches only those columns of every row segment), and
+// SetWorkers fans Encode/Reconstruct out over the package worker pool.
 type XCode struct {
-	p int
+	p       int
+	workers int
 }
 
 // NewXCode creates an X-Code over p columns; p must be prime and ≥ 5
@@ -50,6 +55,10 @@ func (x *XCode) DataRows() int { return x.p - 2 }
 // segments per column).
 func (x *XCode) SegmentAlign() int { return x.p }
 
+// SetWorkers sets the wall-clock fan-out for Encode/Reconstruct
+// (clamped per call by band width; ≤1 keeps everything on the caller).
+func (x *XCode) SetWorkers(n int) { x.workers = n }
+
 // seg returns segment (row) r of column col.
 func seg(col []byte, r, segSize int) []byte {
 	return col[r*segSize : (r+1)*segSize]
@@ -63,18 +72,40 @@ func (x *XCode) Encode(cols [][]byte) error {
 	if err != nil {
 		return err
 	}
+	nw := poolWorkers(x.workers, segSize)
+	if nw <= 1 {
+		x.encodeBand(cols, 0, segSize)
+		return nil
+	}
+	shared.mu.Lock()
+	shared.job.kind = jobXEncode
+	shared.job.x = x
+	shared.job.data = cols
+	shared.fanOut(segSize, nw)
+	shared.mu.Unlock()
+	return nil
+}
+
+// encodeBand computes the [lo, hi) columns of both parity rows in
+// every column of the array.
+func (x *XCode) encodeBand(cols [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
 	p := x.p
+	segSize := len(cols[0]) / p
 	for i := 0; i < p; i++ {
-		r1 := seg(cols[i], p-2, segSize)
-		r2 := seg(cols[i], p-1, segSize)
+		r1 := cols[i][(p-2)*segSize+lo : (p-2)*segSize+hi]
+		r2 := cols[i][(p-1)*segSize+lo : (p-1)*segSize+hi]
 		zero(r1)
 		zero(r2)
 		for k := 0; k <= p-3; k++ {
-			xorBytes(r1, seg(cols[(i+k+2)%p], k, segSize))
-			xorBytes(r2, seg(cols[((i-k-2)%p+p)%p], k, segSize))
+			c1 := cols[(i+k+2)%p]
+			c2 := cols[((i-k-2)%p+p)%p]
+			xorBytes(r1, c1[k*segSize+lo:k*segSize+hi])
+			xorBytes(r2, c2[k*segSize+lo:k*segSize+hi])
 		}
 	}
-	return nil
 }
 
 // equations lists the 2p parity equations as cell sets (cell.shard is
@@ -94,34 +125,54 @@ func (x *XCode) equations() [][]cell {
 	return eqs
 }
 
-// Reconstruct recovers up to two missing columns in place (missing
-// columns must be allocated; present[i] tells whether column i
-// survived).
-func (x *XCode) Reconstruct(cols [][]byte, present []bool) error {
+// PlanReconstruct validates the erasure pattern and eliminates the
+// parity system once, returning a banded plan (nil when no column is
+// missing). The loss count is taken before any solver state exists, so
+// the no-loss fast path allocates nothing, and a present vector of the
+// wrong length is caller misuse reported as ErrPresent — distinct from
+// data loss (ErrTooManyMissing).
+func (x *XCode) PlanReconstruct(cols [][]byte, present []bool) (*Plan, error) {
 	segSize, err := x.checkCols(cols)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if len(present) != x.p {
+		return nil, fmt.Errorf("%w: got %d entries, want %d columns", ErrPresent, len(present), x.p)
 	}
 	missing := 0
-	sv := newGF2Solver(segSize)
+	for _, ok := range present {
+		if !ok {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil, nil
+	}
+	if missing > 2 {
+		return nil, fmt.Errorf("%w: %d columns lost, x-code tolerates 2", ErrTooManyMissing, missing)
+	}
+	unknowns := make([]cell, 0, missing*x.p)
 	for i, ok := range present {
 		if ok {
 			continue
 		}
-		missing++
 		for r := 0; r < x.p; r++ {
-			sv.addUnknown(cell{i, r})
+			unknowns = append(unknowns, cell{i, r})
 		}
 	}
-	if missing == 0 {
-		return nil
+	return buildXorPlan(x.equations(), unknowns, segSize, segSize)
+}
+
+// Reconstruct recovers up to two missing columns in place (missing
+// columns must be allocated; present[i] tells whether column i
+// survived).
+func (x *XCode) Reconstruct(cols [][]byte, present []bool) error {
+	pl, err := x.PlanReconstruct(cols, present)
+	if err != nil || pl == nil {
+		return err
 	}
-	if missing > 2 {
-		return fmt.Errorf("%w: %d columns lost, x-code tolerates 2", ErrTooManyMissing, missing)
-	}
-	return sv.solve(x.equations(),
-		func(cl cell) []byte { return seg(cols[cl.shard], cl.seg, segSize) },
-		func(cl cell, val []byte) { copy(seg(cols[cl.shard], cl.seg, segSize), val) })
+	runPlanPooled(pl, cols, x.workers)
+	return nil
 }
 
 func (x *XCode) checkCols(cols [][]byte) (int, error) {

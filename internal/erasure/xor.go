@@ -1,6 +1,9 @@
 package erasure
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // XorCode is an XOR-only systematic code with two parity shards (P, Q)
 // tolerating any two shard losses per stripe — the fault-tolerance
@@ -16,10 +19,21 @@ import "fmt"
 // The paper names X-Code; X-Code stores its two parity rows inside
 // every column, which contradicts Aceso's own metadata model of
 // dedicated DATA and PARITY blocks (Figure 5), so we use the
-// equivalent-property EVENODD layout. See DESIGN.md.
+// equivalent-property EVENODD layout. See DESIGN.md §9.
+//
+// Parallelism: every kernel is banded on the within-segment column
+// range [lo, hi) — band [lo, hi) reads and writes only those columns
+// of every P/Q segment (and of the adjuster scratch), so bands are
+// disjoint and SetWorkers fans whole-shard calls out over the package
+// worker pool.
 type XorCode struct {
-	k int
-	p int // prime, >= k
+	k       int
+	p       int // prime, >= k
+	workers int
+	// scratch pools per-band adjuster buffers: each band's encode
+	// needs its own S accumulator, and pooling keeps the steady-state
+	// encode path at 0 allocs/op.
+	scratch sync.Pool
 }
 
 // xorPrimes are the supported primes: p−1 must divide power-of-two
@@ -54,31 +68,82 @@ func (c *XorCode) M() int { return 2 }
 // SegmentAlign implements Code: shard length must be a multiple of p−1.
 func (c *XorCode) SegmentAlign() int { return c.p - 1 }
 
+// BandWidth implements Code: the band dimension is the segment size.
+func (c *XorCode) BandWidth(n int) int { return n / (c.p - 1) }
+
+// SetWorkers sets the wall-clock fan-out for whole-shard kernels
+// (clamped per call by band width; ≤1 keeps everything on the caller).
+// Not safe to change while kernels are in flight — configure at setup.
+func (c *XorCode) SetWorkers(n int) { c.workers = n }
+
+// getScratch returns a pooled adjuster buffer of capacity ≥ n.
+func (c *XorCode) getScratch(n int) *[]byte {
+	sp, _ := c.scratch.Get().(*[]byte)
+	if sp == nil {
+		b := make([]byte, n)
+		return &b
+	}
+	if cap(*sp) < n {
+		*sp = make([]byte, n)
+	}
+	return sp
+}
+
 // Encode implements Code: parity[0] = P (row parity), parity[1] = Q
 // (diagonal parity with the EVENODD adjuster).
-func (c *XorCode) Encode(data, parity [][]byte) {
-	p, q := parity[0], parity[1]
-	segSize := len(p) / (c.p - 1)
-	zero(p)
-	zero(q)
-	s := make([]byte, segSize) // the adjuster diagonal p−1
+func (c *XorCode) Encode(data, parity [][]byte) error {
+	size, err := checkEncode(c, data, parity)
+	if err != nil {
+		return err
+	}
+	segSize := size / (c.p - 1)
+	nw := poolWorkers(c.workers, segSize)
+	if nw <= 1 {
+		c.encodeBand(data, parity, 0, segSize)
+		return nil
+	}
+	shared.mu.Lock()
+	shared.job.kind = jobXorEncode
+	shared.job.xc = c
+	shared.job.data = data
+	shared.job.parity = parity
+	shared.fanOut(segSize, nw)
+	shared.mu.Unlock()
+	return nil
+}
+
+// encodeBand computes the [lo, hi) columns of every P and Q segment.
+func (c *XorCode) encodeBand(data, parity [][]byte, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	rp, q := parity[0], parity[1]
+	segSize := len(rp) / (c.p - 1)
+	sp := c.getScratch(hi - lo)
+	s := (*sp)[:hi-lo] // the adjuster diagonal p−1, band columns only
+	zero(s)
+	for r := 0; r < c.p-1; r++ {
+		zero(rp[r*segSize+lo : r*segSize+hi])
+		zero(q[r*segSize+lo : r*segSize+hi])
+	}
 	for di := 0; di < c.k; di++ {
 		shard := data[di]
-		xorBytes(p, shard)
 		for r := 0; r < c.p-1; r++ {
-			seg := shard[r*segSize : (r+1)*segSize]
+			piece := shard[r*segSize+lo : r*segSize+hi]
+			xorBytes(rp[r*segSize+lo:r*segSize+hi], piece)
 			d := (r + di) % c.p
 			if d == c.p-1 {
-				xorBytes(s, seg)
+				xorBytes(s, piece)
 			} else {
-				xorBytes(q[d*segSize:(d+1)*segSize], seg)
+				xorBytes(q[d*segSize+lo:d*segSize+hi], piece)
 			}
 		}
 	}
 	// Fold the adjuster into every Q segment.
 	for t := 0; t < c.p-1; t++ {
-		xorBytes(q[t*segSize:(t+1)*segSize], s)
+		xorBytes(q[t*segSize+lo:t*segSize+hi], s)
 	}
+	c.scratch.Put(sp)
 }
 
 // Update implements Code: fold delta (old⊕new of data shard di at byte
@@ -91,33 +156,80 @@ func (c *XorCode) Update(parity [][]byte, di int, off int, delta []byte) {
 
 // UpdateOne implements Code for a single parity shard.
 func (c *XorCode) UpdateOne(pi int, parity []byte, di int, off int, delta []byte) {
-	if pi == 0 { // P: plain XOR at the same offsets
-		xorBytes(parity[off:off+len(delta)], delta)
+	c.updateOneBand(pi, parity, di, off, delta, 0, len(parity)/(c.p-1))
+}
+
+// ApplyDeltas implements Code: fold every delta into parity shard pi in
+// one pass, fanned out over the pool when configured.
+func (c *XorCode) ApplyDeltas(pi int, parity []byte, deltas []ShardDelta) {
+	width := len(parity) / (c.p - 1)
+	nw := poolWorkers(c.workers, width)
+	if nw <= 1 {
+		c.applyDeltasBand(pi, parity, deltas, 0, width)
 		return
 	}
-	// Q: walk the delta segment by segment; each piece lands on one
-	// diagonal (or, on the adjuster diagonal, on all of them).
-	q := parity
-	segSize := len(q) / (c.p - 1)
-	pos := 0
-	for pos < len(delta) {
-		abs := off + pos
-		r := abs / segSize
-		within := abs % segSize
-		n := segSize - within
-		if n > len(delta)-pos {
-			n = len(delta) - pos
+	shared.mu.Lock()
+	shared.job.kind = jobXorApply
+	shared.job.xc = c
+	shared.job.pi = pi
+	shared.job.pshard = parity
+	shared.job.deltas = deltas
+	shared.fanOut(width, nw)
+	shared.mu.Unlock()
+}
+
+// ApplyDeltasBand implements Code.
+func (c *XorCode) ApplyDeltasBand(pi int, parity []byte, deltas []ShardDelta, lo, hi int) {
+	if w := len(parity) / (c.p - 1); hi > w {
+		hi = w
+	}
+	c.applyDeltasBand(pi, parity, deltas, lo, hi)
+}
+
+func (c *XorCode) applyDeltasBand(pi int, parity []byte, deltas []ShardDelta, lo, hi int) {
+	for _, d := range deltas {
+		c.updateOneBand(pi, parity, d.DI, d.Off, d.B, lo, hi)
+	}
+}
+
+// updateOneBand folds delta into the [lo, hi) columns of parity shard
+// pi. Walking the delta row by row, each piece lands at the same
+// within-segment offsets in P, on one diagonal of Q, or — on the
+// adjuster diagonal — in every Q segment; in all three cases only
+// band columns are touched, so bands stay disjoint across workers.
+func (c *XorCode) updateOneBand(pi int, parity []byte, di, off int, delta []byte, lo, hi int) {
+	if len(delta) == 0 || lo >= hi {
+		return
+	}
+	segSize := len(parity) / (c.p - 1)
+	r0 := off / segSize
+	r1 := (off + len(delta) - 1) / segSize
+	for r := r0; r <= r1; r++ {
+		// Intersect the delta's reach into row r with the band.
+		a := lo
+		if s := off - r*segSize; s > a {
+			a = s
 		}
-		piece := delta[pos : pos+n]
+		b := hi
+		if e := off + len(delta) - r*segSize; e < b {
+			b = e
+		}
+		if a >= b {
+			continue
+		}
+		piece := delta[r*segSize+a-off : r*segSize+b-off]
+		if pi == 0 { // P: plain XOR at the same offsets
+			xorBytes(parity[r*segSize+a:r*segSize+b], piece)
+			continue
+		}
 		d := (r + di) % c.p
 		if d == c.p-1 {
 			for t := 0; t < c.p-1; t++ {
-				xorBytes(q[t*segSize+within:t*segSize+within+n], piece)
+				xorBytes(parity[t*segSize+a:t*segSize+b], piece)
 			}
 		} else {
-			xorBytes(q[d*segSize+within:d*segSize+within+n], piece)
+			xorBytes(parity[d*segSize+a:d*segSize+b], piece)
 		}
-		pos += n
 	}
 }
 
@@ -157,30 +269,34 @@ func (c *XorCode) equations() [][]cell {
 	return eqs
 }
 
-// Reconstruct implements Code. It solves the stripe's parity equations
-// over GF(2) with the missing shards' segments as unknowns — a generic
-// decoder that handles every combination of up to two lost shards
-// (data-data, data-P, data-Q, P-Q) uniformly.
-func (c *XorCode) Reconstruct(shards [][]byte, present []bool) error {
+// PlanReconstruct implements Code: validate, then eliminate the
+// stripe's parity equations over GF(2) with the missing shards'
+// segments as unknowns — a generic decoder covering every combination
+// of up to two lost shards (data-data, data-P, data-Q, P-Q) uniformly.
+func (c *XorCode) PlanReconstruct(shards [][]byte, present []bool) (*Plan, error) {
 	size, missing, err := checkShards(c, shards, present)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(missing) == 0 {
-		return nil
+		return nil, nil
 	}
 	segSize := size / (c.p - 1)
-	sv := newGF2Solver(segSize)
+	unknowns := make([]cell, 0, len(missing)*(c.p-1))
 	for _, mi := range missing {
 		for r := 0; r < c.p-1; r++ {
-			sv.addUnknown(cell{mi, r})
+			unknowns = append(unknowns, cell{mi, r})
 		}
 	}
-	return sv.solve(c.equations(),
-		func(cl cell) []byte {
-			return shards[cl.shard][cl.seg*segSize : (cl.seg+1)*segSize]
-		},
-		func(cl cell, val []byte) {
-			copy(shards[cl.shard][cl.seg*segSize:(cl.seg+1)*segSize], val)
-		})
+	return buildXorPlan(c.equations(), unknowns, segSize, segSize)
+}
+
+// Reconstruct implements Code.
+func (c *XorCode) Reconstruct(shards [][]byte, present []bool) error {
+	pl, err := c.PlanReconstruct(shards, present)
+	if err != nil || pl == nil {
+		return err
+	}
+	runPlanPooled(pl, shards, c.workers)
+	return nil
 }

@@ -336,6 +336,13 @@ func (p *Platform) TransportStats() rdma.TransportStats {
 	return rdma.TransportStats{}
 }
 
+// VirtualTime implements rdma.VirtualTime by delegation (false when
+// the inner fabric runs on the wall clock, so poll-based sim-core
+// worker pools stay inert).
+func (p *Platform) VirtualTime() bool {
+	return rdma.IsVirtual(p.inner)
+}
+
 // SetWriteObserver implements rdma.WriteObserver by delegation (false
 // when the inner fabric cannot report remote mutations, so callers
 // fall back to treating everything as dirty).

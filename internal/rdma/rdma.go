@@ -315,6 +315,25 @@ type WriteObserver interface {
 	SetWriteObserver(node NodeID, fn func(off, n uint64)) bool
 }
 
+// VirtualTime marks a Platform whose processes run in simulated time:
+// Ctx.Sleep advances an engine clock instead of the wall clock, so a
+// poll-based worker process costs nothing while idle. Wall-clock
+// fabrics do not implement it — there an idle 5 µs sleep-poll loop
+// burns a real core, so sim-core accounting pools (checkpoint and
+// erasure workers) must stay inert and let goroutine pools provide
+// the parallelism instead. Core code type-asserts a Platform to reach
+// it, exactly like FaultInjector.
+type VirtualTime interface {
+	// VirtualTime reports whether the platform's clock is simulated.
+	VirtualTime() bool
+}
+
+// IsVirtual reports whether pl runs its processes in virtual time.
+func IsVirtual(pl Platform) bool {
+	v, ok := pl.(VirtualTime)
+	return ok && v.VirtualTime()
+}
+
 // NopLocker is a no-op sync.Locker for fabrics whose scheduling
 // already serialises memory access.
 type NopLocker struct{}
@@ -344,3 +363,10 @@ const (
 // simulated fabrics charge worker compression as real per-core
 // contention.
 func CoreCkptWorker(i int) int { return NumMNCores + i }
+
+// CoreECWorker returns the core index of the i-th erasure worker on a
+// node running ckptWorkers checkpoint workers: erasure worker cores
+// sit after the fixed roles and the checkpoint pool, so a node sized
+// with NumMNCores+ckptWorkers+ecWorkers cores charges banded erasure
+// kernels as real per-core contention alongside compression.
+func CoreECWorker(ckptWorkers, i int) int { return NumMNCores + ckptWorkers + i }
