@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
 	"repro/internal/stats"
@@ -44,6 +46,7 @@ func main() {
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
 	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match the daemons)")
+	flag.IntVar(&cfg.TraceSample, "trace-sample", 1, "op-span sampling: 1 in N of this client's ops records a span tree (<0 disables)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -56,11 +59,15 @@ func main() {
 
 	pl := tcpnet.New(addrs, 0, false)
 	transportStats = pl.TransportStats
-	cl, err := core.NewCluster(cfg, pl)
+	ipl := obs.Instrument(pl, obs.NewFabricMetrics())
+	cl, err := core.NewCluster(cfg, ipl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
-	cn := pl.AddComputeNode()
+	ipl.SetTracer(cl.Tracer())
+	localSpans = cl.Tracer().Snapshot
+	localEvents = cl.Trace().Events
+	cn := ipl.AddComputeNode()
 
 	done := make(chan struct{})
 	cl.SpawnClient(cn, "acesocli", func(c *core.Client) {
@@ -84,6 +91,14 @@ func main() {
 // transportStats reads the process-wide fabric counters; set in main
 // once the platform exists.
 var transportStats func() rdma.TransportStats
+
+// localSpans / localEvents snapshot this process's own span tracer
+// and event ring; set in main. On a multi-process fabric the MN's
+// rings only hold server-side spans and events — the client op→verb
+// trees and locally injected faults (fail.inject from a kill issued
+// here) live in this process, so the trace command merges both.
+var localSpans func() []obs.Span
+var localEvents func() []obs.Event
 
 func execute(c *core.Client, fields []string) (quit bool) {
 	switch fields[0] {
@@ -200,17 +215,94 @@ func execute(c *core.Client, fields []string) (quit bool) {
 		} else {
 			fmt.Printf("chaos cleared on mn%d\n", mn)
 		}
+	case "trace":
+		fetch := func(mn, max int) ([]obs.Span, []obs.Event, error) {
+			spans, events, err := c.TraceMN(mn, max)
+			if err != nil {
+				return nil, nil, err
+			}
+			if localSpans != nil {
+				local := localSpans()
+				if max > 0 && len(local) > max {
+					local = local[len(local)-max:]
+				}
+				spans = append(spans, local...)
+			}
+			if localEvents != nil {
+				events = append(events, localEvents()...)
+			}
+			return spans, events, nil
+		}
+		if err := traceCmd(fetch, fields[1:], os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "quit", "exit":
 		return true
 	case "help":
 		fmt.Println("commands: get <k> | set <k> <v> | del <k> | stats [<mn>] | quit")
 		fmt.Println("  stats        this client's local operation counters")
 		fmt.Println("  stats <mn>   memory node <mn>'s server counters over the admin RPC")
+		fmt.Println("  trace <mn> [n] [file]   dump mn's newest n op spans + ring events as")
+		fmt.Println("                          Chrome trace_event JSON (default trace.json; \"-\" = stdout)")
 		fmt.Println("fault injection: kill <mn> | chaos <mn> [<seed> <drop> <delay> <maxDelay> <reset>]")
 	default:
 		fmt.Println("unknown command (try: help)")
 	}
 	return false
+}
+
+// traceCmd implements the `trace` REPL command: fetch a memory node's
+// span ring + event ring over the admin Trace RPC and write them as
+// Chrome trace_event JSON (load in Perfetto / chrome://tracing). The
+// fetcher is injected so tests can golden the rendering without a
+// live group.
+//
+//	trace <mn> [n] [file]
+//
+// n bounds the dump to the newest n spans (0 = all retained); file
+// defaults to trace.json, "-" writes to out.
+func traceCmd(fetch func(mn, max int) ([]obs.Span, []obs.Event, error), args []string, out io.Writer) error {
+	if len(args) < 1 || len(args) > 3 {
+		return errors.New("usage: trace <mn> [n] [file]")
+	}
+	mn, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("mn must be an integer: %w", err)
+	}
+	max := 0
+	if len(args) >= 2 {
+		if max, err = strconv.Atoi(args[1]); err != nil || max < 0 {
+			return fmt.Errorf("n must be a non-negative integer")
+		}
+	}
+	file := "trace.json"
+	if len(args) == 3 {
+		file = args[2]
+	}
+	spans, events, err := fetch(mn, max)
+	if err != nil {
+		return err
+	}
+	if file == "-" {
+		if err := obs.WriteChromeTrace(out, spans, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%d spans, %d events\n", len(spans), len(events))
+		return nil
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d spans, %d events)\n", file, len(spans), len(events))
+	return nil
 }
 
 // printMNStats fetches a memory node's server counters over the admin

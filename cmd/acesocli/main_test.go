@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeFetch stands in for Client.TraceMN: a canned span tree (one GET
+// op with a verb child) plus one ring instant, as a live MN returns.
+func fakeFetch(mn, max int) ([]obs.Span, []obs.Event, error) {
+	spans := []obs.Span{
+		{Seq: 1, Trace: 9, Kind: obs.SpanVerb, Node: int32(mn), Tid: 1, Name: "read",
+			Start: 10 * time.Microsecond, End: 22 * time.Microsecond},
+		{Seq: 2, Trace: 9, Kind: obs.SpanOp, Node: -1, Tid: 1, Name: "get",
+			Start: 5 * time.Microsecond, End: 30 * time.Microsecond},
+	}
+	if max == 1 {
+		spans = spans[1:]
+	}
+	events := []obs.Event{
+		{Seq: 0, At: 40 * time.Microsecond, Kind: "fail.inject", MN: mn, Note: "admin kill"},
+	}
+	return spans, events, nil
+}
+
+const wantTraceJSON = `{"displayTimeUnit":"ns","traceEvents":[` +
+	`{"name":"read","cat":"verb","ph":"X","ts":10.000,"dur":12.000,"pid":0,"tid":1,"args":{"seq":1,"trace":9,"node":2,"wall_start_ns":0,"wall_end_ns":0}},` +
+	`{"name":"get","cat":"op","ph":"X","ts":5.000,"dur":25.000,"pid":0,"tid":1,"args":{"seq":2,"trace":9,"node":-1,"wall_start_ns":0,"wall_end_ns":0}},` +
+	`{"name":"fail.inject","cat":"ring","ph":"i","s":"g","ts":40.000,"pid":2,"tid":0,"args":{"seq":0,"mn":2,"note":"admin kill"}}` +
+	`]}`
+
+func TestTraceCmdGolden(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := traceCmd(fakeFetch, []string{"2", "0", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != wantTraceJSON {
+		t.Errorf("trace JSON mismatch\n got: %s\nwant: %s", got, wantTraceJSON)
+	}
+	if !strings.Contains(out.String(), "wrote "+file+" (2 spans, 1 events)") {
+		t.Errorf("status line = %q", out.String())
+	}
+	// The file must be loadable JSON with the Perfetto top-level shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("output does not parse as JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Errorf("parsed %d events, want 3", len(doc.TraceEvents))
+	}
+}
+
+func TestTraceCmdStdoutAndLimit(t *testing.T) {
+	var out strings.Builder
+	if err := traceCmd(fakeFetch, []string{"2", "1", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"name":"get"`) || strings.Contains(s, `"name":"read"`) {
+		t.Errorf("n=1 should keep only the newest span:\n%s", s)
+	}
+	if !strings.Contains(s, "1 spans, 1 events") {
+		t.Errorf("status line missing:\n%s", s)
+	}
+}
+
+func TestTraceCmdUsageErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"x"}, {"1", "-3"}, {"1", "2", "f", "extra"}} {
+		if err := traceCmd(fakeFetch, args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -40,12 +40,17 @@ import (
 	"repro/internal/rdma/tcpnet"
 )
 
+// version labels aceso_build_info; override at build time with
+// -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
 	var (
 		mn          = flag.Int("mn", 0, "this daemon's logical memory-node id")
 		peers       = flag.String("peers", "", "comma-separated listen addresses of all memory nodes, in id order")
 		master      = flag.Bool("master", false, "also run the master (checkpoint trigger) in this daemon")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text /metrics and /healthz on this address (e.g. :9100); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text /metrics, /healthz, /readyz and /debug/optrace on this address (e.g. :9100); empty disables")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof handlers (cpu/heap/mutex/block) on the -metrics-addr mux")
 	)
 	cfg := core.DefaultConfig()
 	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
@@ -56,6 +61,8 @@ func main() {
 	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match on every daemon and client; 1 = full-image rounds)")
 	flag.IntVar(&cfg.CkptWorkers, "ckpt-workers", cfg.CkptWorkers, "checkpoint compression worker cores per MN (0 = inline on the send core)")
 	flag.IntVar(&cfg.ECWorkers, "ec-workers", cfg.ECWorkers, "erasure worker cores per MN for banded encode/reconstruct kernels (0 = inline on the erasure core)")
+	flag.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "op-span sampling: 1 in N ops records a span tree (0 = default 64, <0 disables)")
+	flag.IntVar(&cfg.TraceSpans, "trace-spans", cfg.TraceSpans, "span ring capacity (newest retained; 0 = default 4096)")
 	opt := tcpnet.Options{}.WithDefaults()
 	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
 	flag.DurationVar(&opt.OpTimeout, "op-timeout", opt.OpTimeout, "per-verb I/O deadline before a retry")
@@ -85,6 +92,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
+	// Install the span tracer before any process spawns, so server
+	// daemons and clients all run traced ctxs.
+	ipl.SetTracer(cl.Tracer())
 	cl.StartServers()
 	if *master {
 		cl.StartMaster()
@@ -92,10 +102,15 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		exp := &obs.Exporter{
-			Fabric:    ipl.Metrics(),
-			Transport: pl.TransportStats,
-			Gauges:    func() map[string]float64 { return serverGauges(cl.Server(*mn).Stats()) },
-			Trace:     cl.Trace(),
+			Fabric:      ipl.Metrics(),
+			Transport:   pl.TransportStats,
+			Gauges:      func() map[string]float64 { return serverGauges(cl.Server(*mn).Stats()) },
+			Trace:       cl.Trace(),
+			Tracer:      cl.Tracer(),
+			Ready:       cl.Ready,
+			Version:     version,
+			FabricName:  "tcpnet",
+			EnablePprof: *pprofOn,
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {
@@ -103,6 +118,9 @@ func main() {
 			}
 		}()
 		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+		if *pprofOn {
+			log.Printf("pprof on http://%s/debug/pprof/", *metricsAddr)
+		}
 	}
 	log.Printf("mn%d serving on %s (%d MB pool memory, %d stripes)",
 		*mn, pl.Addr(), cl.L.MemBytes()>>20, cfg.Layout.StripeRows)

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("sloperf", "Windowed SLO tracking through an MN fail-stop", runSloperf)
+}
+
+// sloperfSummary is the machine-readable form (BENCH_sloperf.json).
+type sloperfSummary struct {
+	WindowMs        float64                      `json:"window_ms"`
+	Windows         int                          `json:"windows"`
+	DegradedWindows int                          `json:"degraded_windows"`
+	KillWindow      int                          `json:"kill_window"`
+	RecoveredWindow int                          `json:"recovered_window"`
+	TargetP99Us     float64                      `json:"target_p99_us"`
+	Budget          float64                      `json:"budget"`
+	PeakBurn        map[string]float64           `json:"peak_burn"`
+	Classes         map[string]sloperfClassTotal `json:"classes"`
+}
+
+type sloperfClassTotal struct {
+	Ops      uint64  `json:"ops"`
+	Errors   uint64  `json:"errors"`
+	Breaches uint64  `json:"breaches"`
+	P99Us    float64 `json:"p99_us"`
+}
+
+// sloMixGen cycles each client through all four op classes over its
+// private micro key range: mostly SEARCHes on preloaded keys, periodic
+// UPDATEs, and an INSERT immediately reclaimed by a DELETE so the
+// keyspace stays stable across windows.
+type sloMixGen struct {
+	client int
+	keys   uint64
+	n      uint64
+	fresh  uint64
+}
+
+func (g *sloMixGen) next() (workload.Op, obs.SLOClass) {
+	i := g.n % 8
+	g.n++
+	switch i {
+	case 3:
+		return workload.Op{Kind: workload.OpUpdate, Key: workload.MicroKey(g.client, g.n%g.keys)}, obs.SLOUpdate
+	case 5:
+		g.fresh++
+		return workload.Op{Kind: workload.OpInsert, Key: workload.MicroKey(g.client, g.keys+g.fresh)}, obs.SLOInsert
+	case 7:
+		return workload.Op{Kind: workload.OpDelete, Key: workload.MicroKey(g.client, g.keys+g.fresh)}, obs.SLODelete
+	default:
+		return workload.Op{Kind: workload.OpSearch, Key: workload.MicroKey(g.client, g.n%g.keys)}, obs.SLOGet
+	}
+}
+
+// runSloperf drives the SLO engine end to end on the simulated fabric:
+// clients run a four-class mix while virtual time advances in fixed
+// reporting windows; after a few clean windows one MN is fail-stopped,
+// the degraded flag follows the recovery state machine, and the
+// per-window burn rate shows the failure's tail-latency cost. The
+// latency target is derived from the clean windows (1.5x observed GET
+// p99), so burn is meaningful at any simulation scale.
+func runSloperf(o Options) (*Result, error) {
+	keys := o.OpsPerClient
+	lc, err := loadCluster(o, keys, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer lc.r.shutdown()
+
+	const budget = 0.05
+	slo := obs.NewSLOTracker(obs.SLOTarget{P99: time.Second, Budget: budget})
+
+	eng := lc.r.pl.Engine()
+	running := true
+	for i := 0; i < o.Clients; i++ {
+		i := i
+		lc.r.spawn(i, fmt.Sprintf("slo-cli%d", i), func(c kvClient) {
+			g := &sloMixGen{client: i, keys: uint64(keys)}
+			now := func() time.Duration { return lc.r.pl.Engine().Now() }
+			for running {
+				op, class := g.next()
+				t0 := now()
+				err := execOp(c, op, o.KVSize)
+				lat := now() - t0
+				failed := err != nil && !errors.Is(err, core.ErrNotFound)
+				slo.Observe(class, lat, failed)
+			}
+		})
+	}
+
+	const (
+		window      = 2 * time.Millisecond // virtual reporting interval
+		cleanBefore = 3                    // windows before the kill
+		cleanAfter  = 2                    // windows after recovery completes
+		maxWindows  = 60
+		victim      = 1
+	)
+	burnSeries := &stats.Series{Name: "get burn"}
+	p99Series := &stats.Series{Name: "get p99 (us)"}
+	degSeries := &stats.Series{Name: "degraded"}
+	peak := map[string]float64{}
+	targetSet := false
+	var target obs.SLOTarget
+	killWindow, recoveredWindow := -1, -1
+	degradedWindows := 0
+	w := 0
+	for ; w < maxWindows; w++ {
+		eng.Run(eng.Now() + window)
+
+		if w == cleanBefore-1 {
+			// Clean windows done: pin the latency target off observed
+			// behaviour so post-kill breaches register.
+			p99 := slo.Report(obs.SLOGet).P99
+			target = obs.SLOTarget{P99: p99 + p99/2, Budget: budget}
+			for c := obs.SLOClass(0); c < obs.NumSLOClasses; c++ {
+				slo.SetTarget(c, target)
+			}
+			targetSet = true
+		}
+		if w == cleanBefore {
+			lc.r.cl.FailMN(victim)
+			killWindow = w
+		}
+		degraded := false
+		if killWindow >= 0 {
+			failed, _, blocksReady := lc.r.cl.MNState(victim)
+			degraded = failed || !blocksReady
+			if !degraded && recoveredWindow < 0 {
+				recoveredWindow = w
+			}
+		}
+		slo.SetDegraded(degraded)
+		if degraded {
+			degradedWindows++
+		}
+		slo.Rotate()
+
+		if targetSet {
+			rep := slo.Report(obs.SLOGet)
+			lbl := fmt.Sprintf("w%d", w)
+			burnSeries.Add(lbl, rep.BurnRate)
+			p99Series.Add(lbl, us(rep.P99))
+			deg := 0.0
+			if degraded {
+				deg = 1
+			}
+			degSeries.Add(lbl, deg)
+			for _, r := range slo.Reports() {
+				if r.BurnRate > peak[r.Class.String()] {
+					peak[r.Class.String()] = r.BurnRate
+				}
+			}
+		}
+		if recoveredWindow >= 0 && w >= recoveredWindow+cleanAfter {
+			w++
+			break
+		}
+	}
+	running = false
+	eng.Run(eng.Now() + time.Millisecond)
+
+	if killWindow < 0 {
+		return nil, fmt.Errorf("bench: sloperf never reached the kill window")
+	}
+	if degradedWindows == 0 {
+		return nil, fmt.Errorf("bench: degraded flag never flipped after the mn%d kill", victim)
+	}
+
+	sum := &sloperfSummary{
+		WindowMs:        ms(window),
+		Windows:         w,
+		DegradedWindows: degradedWindows,
+		KillWindow:      killWindow,
+		RecoveredWindow: recoveredWindow,
+		TargetP99Us:     us(target.P99),
+		Budget:          budget,
+		PeakBurn:        peak,
+		Classes:         map[string]sloperfClassTotal{},
+	}
+	for _, r := range slo.Reports() {
+		if r.TotalOps == 0 {
+			continue
+		}
+		sum.Classes[r.Class.String()] = sloperfClassTotal{
+			Ops: r.TotalOps, Errors: r.TotalErrs, Breaches: r.TotalBrch, P99Us: us(r.P99),
+		}
+	}
+
+	res := &Result{
+		ID:      "sloperf",
+		Title:   "Windowed SLO tracking through an MN fail-stop",
+		Series:  []*stats.Series{p99Series, burnSeries, degSeries},
+		Summary: sum,
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("target p99 %.0f us (1.5x clean-window GET p99), budget %.0f%%", us(target.P99), budget*100),
+		fmt.Sprintf("kill at w%d; %d degraded windows; recovered at w%d", killWindow, degradedWindows, recoveredWindow))
+	return res, nil
+}

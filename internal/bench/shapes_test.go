@@ -2,6 +2,8 @@ package bench
 
 import (
 	"testing"
+
+	"repro/internal/stats"
 )
 
 // These tests pin the qualitative results of the paper — who wins and
@@ -225,5 +227,53 @@ func TestShapeTCPPerf(t *testing.T) {
 	}
 	if sum.StripingSpeedup <= 0 {
 		t.Errorf("striping ablation ratio not computed: %+v", sum)
+	}
+}
+
+// TestShapeSloperfDegradedFlip asserts the SLO engine shape: the
+// degraded flag flips on after the injected MN kill, at least one
+// degraded window is recorded, and the machine-readable summary
+// carries per-class totals for all four op classes.
+func TestShapeSloperfDegradedFlip(t *testing.T) {
+	res, err := Run("sloperf", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := res.Summary.(*sloperfSummary)
+	if !ok {
+		t.Fatalf("summary type %T", res.Summary)
+	}
+	if sum.KillWindow < 0 {
+		t.Fatal("no kill window recorded")
+	}
+	if sum.DegradedWindows == 0 {
+		t.Fatal("degraded flag never flipped after the kill")
+	}
+	if sum.TargetP99Us <= 0 {
+		t.Fatalf("derived target p99 = %v", sum.TargetP99Us)
+	}
+	for _, class := range []string{"get", "update", "insert", "delete"} {
+		ct, ok := sum.Classes[class]
+		if !ok || ct.Ops == 0 {
+			t.Fatalf("class %s has no measured ops (%+v)", class, sum.Classes)
+		}
+	}
+	var deg *stats.Series
+	for _, s := range res.Series {
+		if s.Name == "degraded" {
+			deg = s
+		}
+	}
+	if deg == nil {
+		t.Fatal("no degraded series")
+	}
+	flipped := false
+	for _, v := range deg.Values {
+		if v == 1 {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatal("degraded series never reads 1")
 	}
 }

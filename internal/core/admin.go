@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -124,6 +125,105 @@ func (c *Client) StatsMN(mn int) (ServerStats, error) {
 	return st, nil
 }
 
+// handleAdminTrace dumps the cluster's retained op spans (newest
+// request-bounded max) plus the full ring-event tail, so a remote
+// tool can render the same Chrome trace timeline the in-process
+// /debug/optrace endpoint serves.
+func (s *Server) handleAdminTrace(req []byte) ([]byte, time.Duration) {
+	max := 0
+	if len(req) >= 4 {
+		d := dec{b: req}
+		max = int(d.u32())
+	}
+	var spans []obs.Span
+	if s.cl.tracer != nil {
+		spans = s.cl.tracer.Snapshot()
+	}
+	if max > 0 && len(spans) > max {
+		spans = spans[len(spans)-max:]
+	}
+	events := s.cl.trace.Events()
+	e := enc{b: []byte{stOK}}
+	e.u32(uint32(len(spans)))
+	for i := range spans {
+		sp := &spans[i]
+		e.u64(sp.Seq)
+		e.u64(sp.Trace)
+		e.u8(uint8(sp.Kind))
+		if sp.Err {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u32(uint32(sp.Node))
+		e.u32(uint32(sp.Tid))
+		e.u64(uint64(sp.Start))
+		e.u64(uint64(sp.End))
+		e.u64(uint64(sp.WallStart))
+		e.u64(uint64(sp.WallEnd))
+		e.bytes([]byte(sp.Name))
+		e.bytes([]byte(sp.Detail))
+	}
+	e.u32(uint32(len(events)))
+	for i := range events {
+		ev := &events[i]
+		e.u64(ev.Seq)
+		e.u64(uint64(ev.At))
+		e.u64(uint64(ev.Dur))
+		e.u32(uint32(int32(ev.MN)))
+		e.bytes([]byte(ev.Kind))
+		e.bytes([]byte(ev.Note))
+	}
+	return e.b, 5 * time.Microsecond
+}
+
+// TraceMN fetches up to max op spans (0 = all retained) plus the ring
+// events from logical MN mn over the admin RPC. Any MN of an
+// in-process cluster returns the same shared trace.
+func (c *Client) TraceMN(mn, max int) ([]obs.Span, []obs.Event, error) {
+	node, ok := c.cl.view.nodeOf(mn)
+	if !ok {
+		return nil, nil, rdma.ErrNodeFailed
+	}
+	var e enc
+	e.u32(uint32(max))
+	resp, err := c.ctx.RPC(node, methodAdminTrace, e.b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(resp) < 1 || resp[0] != stOK {
+		return nil, nil, errRPC
+	}
+	d := dec{b: resp[1:]}
+	spans := make([]obs.Span, d.u32())
+	for i := range spans {
+		sp := &spans[i]
+		sp.Seq = d.u64()
+		sp.Trace = d.u64()
+		sp.Kind = obs.SpanKind(d.u8())
+		sp.Err = d.u8() != 0
+		sp.Node = int32(d.u32())
+		sp.Tid = int32(d.u32())
+		sp.Start = time.Duration(d.u64())
+		sp.End = time.Duration(d.u64())
+		sp.WallStart = int64(d.u64())
+		sp.WallEnd = int64(d.u64())
+		sp.Name = string(d.bytes())
+		sp.Detail = string(d.bytes())
+	}
+	events := make([]obs.Event, d.u32())
+	for i := range events {
+		ev := &events[i]
+		ev.Seq = d.u64()
+		ev.At = time.Duration(d.u64())
+		ev.Dur = time.Duration(d.u64())
+		ev.MN = int(int32(d.u32()))
+		ev.Kind = string(d.bytes())
+		ev.Note = string(d.bytes())
+	}
+	return spans, events, nil
+}
+
 func encodeChaos(cfg rdma.ChaosConfig) []byte {
 	var e enc
 	e.u64(uint64(cfg.Seed))
@@ -150,6 +250,7 @@ func (c *Client) KillMN(mn int) error {
 	if len(resp) < 1 || resp[0] != stOK {
 		return errRPC
 	}
+	c.cl.trace.Emit(obs.Event{At: c.ctx.Now(), Kind: "fail.inject", MN: mn, Note: "admin kill"})
 	return nil
 }
 
@@ -167,5 +268,10 @@ func (c *Client) ChaosMN(mn int, cfg rdma.ChaosConfig) error {
 	if len(resp) < 1 || resp[0] != stOK {
 		return errRPC
 	}
+	note := "chaos cleared"
+	if cfg.DropProb > 0 || cfg.DelayProb > 0 || cfg.ResetProb > 0 {
+		note = "chaos installed"
+	}
+	c.cl.trace.Emit(obs.Event{At: c.ctx.Now(), Kind: "chaos.install", MN: mn, Note: note})
 	return nil
 }

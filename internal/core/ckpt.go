@@ -23,6 +23,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/layout"
 	"repro/internal/lz4"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -375,6 +376,16 @@ func (s *Server) observeIndexWrite(off, n uint64) {
 			}
 		}
 	}
+	// Sampled checkpoint-observer mark: a zero-width span noting that
+	// a foreground index write dirtied segments. One atomic add when
+	// unsampled; never allocates (static strings, pooled slots).
+	if t := s.cl.tracer; t != nil && t.Sampled() {
+		now := t.WallNow()
+		t.Record(obs.Span{Kind: obs.SpanMark, Node: int32(s.node),
+			Name: "ckpt.mark", Detail: "index write dirtied segment",
+			Start: time.Duration(now), End: time.Duration(now),
+			WallStart: now, WallEnd: now})
+	}
 }
 
 func ckptSetAll(words []uint64, segs int) {
@@ -612,6 +623,7 @@ func (s *Server) ckptSendLoop(ctx rdma.Ctx) {
 		}
 		seq++
 		fr.round, fr.seq = round, seq
+		roundStart := ctx.Now()
 
 		// ① snapshot the round's segments.
 		s.memMu.Lock()
@@ -718,6 +730,12 @@ func (s *Server) ckptSendLoop(ctx rdma.Ctx) {
 			s.ckptShipFailures += fails
 			s.mu.Unlock()
 		}
+		// One phase event per shipped round (snapshot → compress →
+		// ship → notify), so the trace timeline shows checkpoint
+		// rounds alongside op spans and recovery tiers.
+		now := ctx.Now()
+		s.cl.trace.Emit(obs.Event{At: now, Kind: "ckpt.round", MN: s.mn,
+			Dur: now - roundStart, Note: "differential round"})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/racehash"
 	"repro/internal/rdma"
 )
@@ -35,6 +36,11 @@ type Client struct {
 	cl  *Cluster
 	id  uint16
 	ctx rdma.Ctx
+	// ot is the ctx's per-op tracing surface (nil when the ctx is not
+	// a traced obs wrapper): ops bracket themselves with OpBegin/OpEnd
+	// so sampled ops record verb child spans, and annotate lock-stripe
+	// waits and degraded reads with OpMark.
+	ot obs.OpTracer
 
 	cache    map[string]*cacheEnt
 	open     map[uint8]*openBlock
@@ -119,7 +125,10 @@ func newClient(cl *Cluster, id uint16) *Client {
 
 // Attach binds the client to its process context. It must be called
 // from the client's own process before any operation.
-func (c *Client) Attach(ctx rdma.Ctx) { c.ctx = ctx }
+func (c *Client) Attach(ctx rdma.Ctx) {
+	c.ctx = ctx
+	c.ot, _ = ctx.(obs.OpTracer)
+}
 
 // ID returns the client's cluster-unique id.
 func (c *Client) ID() uint16 { return c.id }
@@ -170,6 +179,16 @@ func (c *Client) waitIndexReady(mn int) {
 
 // Search returns the value of key, or ErrNotFound.
 func (c *Client) Search(key []byte) ([]byte, error) {
+	if c.ot != nil {
+		c.ot.OpBegin("get")
+		val, err := c.search(key)
+		c.ot.OpEnd(err != nil && !errors.Is(err, ErrNotFound))
+		return val, err
+	}
+	return c.search(key)
+}
+
+func (c *Client) search(key []byte) ([]byte, error) {
 	c.Stats.Ops++
 	c.Stats.Searches++
 	h := racehash.Hash(key)
@@ -436,6 +455,15 @@ func (c *Client) readKVBytes(buf []byte, packed uint64) error {
 // unavailable (a second failure), the client waits for tier-3 recovery.
 func (c *Client) degradedRead(buf []byte, packed uint64) error {
 	c.Stats.DegradedReads++
+	start := c.ctx.Now()
+	err := c.degradedReadInner(buf, packed)
+	if c.ot != nil {
+		c.ot.OpMark("degraded.read", start)
+	}
+	return err
+}
+
+func (c *Client) degradedReadInner(buf []byte, packed uint64) error {
 	mn, off := layout.UnpackAddr(packed)
 	if err := readStripeRange(c.ctx, c.cl, packed, buf); err == nil {
 		return nil
@@ -470,13 +498,13 @@ func (c *Client) waitBlocksAndRead(buf []byte, mn int, off uint64) error {
 // Insert stores the key-value pair (upserting if present).
 func (c *Client) Insert(key, val []byte) error {
 	c.Stats.Inserts++
-	return c.write(key, val, false)
+	return c.tracedWrite("insert", key, val, false)
 }
 
 // Update overwrites the value of key (upserting if absent).
 func (c *Client) Update(key, val []byte) error {
 	c.Stats.Updates++
-	return c.write(key, val, false)
+	return c.tracedWrite("update", key, val, false)
 }
 
 // Delete removes key by committing a tombstone KV pair (a zero-length
@@ -484,7 +512,19 @@ func (c *Client) Update(key, val []byte) error {
 // the key is absent.
 func (c *Client) Delete(key []byte) error {
 	c.Stats.Deletes++
-	return c.write(key, nil, true)
+	return c.tracedWrite("delete", key, nil, true)
+}
+
+// tracedWrite brackets write with an op span (name must be a static
+// string). ErrNotFound is an answer, not a failure.
+func (c *Client) tracedWrite(name string, key, val []byte, tombstone bool) error {
+	if c.ot == nil {
+		return c.write(key, val, tombstone)
+	}
+	c.ot.OpBegin(name)
+	err := c.write(key, val, tombstone)
+	c.ot.OpEnd(err != nil && !errors.Is(err, ErrNotFound))
+	return err
 }
 
 // write implements Algorithm 1 (slot versioning) around the
@@ -525,7 +565,11 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 				// after LockTimeout force-relock (remark 2, §3.2.2).
 				c.Stats.LockWaits++
 				if lockWait < c.cl.Cfg.LockTimeout {
+					waitStart := c.ctx.Now()
 					c.ctx.Sleep(c.cl.Cfg.LockRetry)
+					if c.ot != nil {
+						c.ot.OpMark("lock.wait", waitStart)
+					}
 					lockWait += c.cl.Cfg.LockRetry
 					c.forgetCache(key)
 					continue

@@ -27,6 +27,7 @@ type Cluster struct {
 	servers []*Server
 	master  *Master
 	trace   *obs.Ring
+	tracer  *obs.Tracer
 
 	mu      sync.Mutex
 	nextCli uint16
@@ -84,6 +85,9 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{Cfg: cfg, L: l, pl: pl, trace: obs.NewRing(1024)}
+	if rate := cfg.traceSample(); rate > 0 {
+		cl.tracer = obs.NewTracer(rate, cfg.traceSpans())
+	}
 	cl.code, err = cfg.newCode()
 	if err != nil {
 		return nil, err
@@ -175,6 +179,27 @@ func (cl *Cluster) Master() *Master { return cl.master }
 // checkpoint rounds and per-tier recovery phase timings, stamped with
 // the fabric clock of the emitting process.
 func (cl *Cluster) Trace() *obs.Ring { return cl.trace }
+
+// Tracer returns the cluster's sampled span tracer (nil when
+// Config.TraceSample < 0 disabled tracing). Install it on the
+// instrumented platform (obs.Platform.SetTracer) before spawning
+// clients so their ops record span trees.
+func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
+// Ready reports readiness for serving traffic: no MN is failed,
+// mid-recovery or resyncing. Liveness is a separate, weaker check —
+// a cluster in tier-3 recovery is alive but not ready.
+func (cl *Cluster) Ready() bool {
+	v := &cl.view
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range v.node {
+		if v.failed[i] || !v.indexReady[i] || !v.blocksReady[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Reclaimed returns the total count of blocks handed out through
 // delta-based reclamation across all servers.

@@ -110,6 +110,13 @@ type Config struct {
 	// keeps all erasure compute inline on the erasure core (the
 	// pre-parallel behaviour).
 	ECWorkers int
+	// TraceSample is the op-span sampling rate: one in TraceSample
+	// client ops records a full span tree (rounded to a power of two;
+	// default 64). <0 disables op tracing entirely.
+	TraceSample int
+	// TraceSpans bounds the span ring: the newest TraceSpans spans are
+	// retained (rounded to a power of two; default 4096).
+	TraceSpans int
 	// DeltaCopies is how many of the stripe's parity MNs receive each
 	// KV's delta write. 0 (the default) means all ParityShards, which
 	// keeps unsealed data recoverable at the full two-failure bound;
@@ -182,6 +189,26 @@ func (c *Config) ecWorkers() int {
 		return 0
 	}
 	return c.ECWorkers
+}
+
+// traceSample resolves the effective 1-in-N op sampling rate (0 =
+// tracing disabled).
+func (c *Config) traceSample() int {
+	if c.TraceSample < 0 {
+		return 0
+	}
+	if c.TraceSample == 0 {
+		return 64
+	}
+	return c.TraceSample
+}
+
+// traceSpans resolves the span-ring capacity.
+func (c *Config) traceSpans() int {
+	if c.TraceSpans <= 0 {
+		return 4096
+	}
+	return c.TraceSpans
 }
 
 // deltaCopies resolves the effective per-KV delta fan-out.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -142,7 +143,11 @@ func (s *Server) start() {
 	for h := range s.ckptShippers {
 		s.ckptShippers[h] = &ckptShipper{}
 	}
-	s.cl.pl.SetHandler(s.node, s.handle)
+	if t := s.cl.tracer; t != nil {
+		s.cl.pl.SetHandler(s.node, s.tracedHandler(t))
+	} else {
+		s.cl.pl.SetHandler(s.node, s.handle)
+	}
 	name := fmt.Sprintf("mn%d", s.mn)
 	s.cl.pl.Spawn(s.node, name+"-encoder", s.encoderLoop)
 	s.cl.pl.Spawn(s.node, name+"-ckptsend", s.ckptSendLoop)
@@ -344,6 +349,58 @@ func (s *Server) addECTally(t *ecTally) {
 
 // --- RPC dispatch ---
 
+// methodNames gives each RPC method a static span name, so recording
+// a handler span never formats or allocates.
+var methodNames = [...]string{
+	methodAllocBlock:   "rpc.alloc_block",
+	methodAllocDelta:   "rpc.alloc_delta",
+	methodSealBlock:    "rpc.seal_block",
+	methodEncodeDelta:  "rpc.encode_delta",
+	methodFreeBits:     "rpc.free_bits",
+	methodQueryOwned:   "rpc.query_owned",
+	methodCkptPrepare:  "rpc.ckpt_prepare",
+	methodCkptSnapshot: "rpc.ckpt_snapshot",
+	methodApplyCkpt:    "rpc.apply_ckpt",
+	methodPing:         "rpc.ping",
+	methodDropDelta:    "rpc.drop_delta",
+	methodAdminFail:    "rpc.admin_fail",
+	methodAdminChaos:   "rpc.admin_chaos",
+	methodAdminStats:   "rpc.admin_stats",
+	methodAdminTrace:   "rpc.admin_trace",
+}
+
+func methodName(m uint8) string {
+	if int(m) < len(methodNames) && methodNames[m] != "" {
+		return methodNames[m]
+	}
+	return "rpc.unknown"
+}
+
+// tracedHandler wraps the RPC dispatch with sampled span recording.
+// Handlers run on fabric executor goroutines with no rdma.Ctx, so
+// handler spans are wall-clock both ways: Start/End mirror
+// WallStart/WallEnd (on tcpnet the fabric clock is wall time anyway;
+// on simnet handler spans sit on the wall timeline while the modelled
+// CPU cost is what the engine charges).
+func (s *Server) tracedHandler(t *obs.Tracer) rdma.Handler {
+	tid := t.NewTid()
+	return func(method uint8, req []byte) ([]byte, time.Duration) {
+		if !t.Sampled() {
+			return s.handle(method, req)
+		}
+		wallStart := t.WallNow()
+		resp, cpu := s.handle(method, req)
+		wallEnd := t.WallNow()
+		t.Record(obs.Span{
+			Kind: obs.SpanPhase, Node: int32(s.node), Tid: tid,
+			Name: methodName(method), Detail: "handler",
+			Start: time.Duration(wallStart), End: time.Duration(wallEnd),
+			WallStart: wallStart, WallEnd: wallEnd,
+		})
+		return resp, cpu
+	}
+}
+
 func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
 	s.memMu.Lock()
 	defer s.memMu.Unlock()
@@ -374,6 +431,8 @@ func (s *Server) handle(method uint8, req []byte) ([]byte, time.Duration) {
 		return s.handleAdminChaos(req)
 	case methodAdminStats:
 		return s.handleAdminStats(req)
+	case methodAdminTrace:
+		return s.handleAdminTrace(req)
 	}
 	return []byte{stBadArg}, time.Microsecond
 }
@@ -764,6 +823,8 @@ func (s *Server) encoderLoop(ctx rdma.Ctx) {
 				s.mu.Lock()
 				s.ecEncodeNs += uint64(elapsed)
 				s.mu.Unlock()
+				s.cl.trace.Emit(obs.Event{At: ctx.Now(), Kind: "ec.encode", MN: s.mn,
+					Dur: elapsed, Note: "batched delta fold"})
 			}
 			if memCost > 0 {
 				ctx.UseCPU(rdma.CoreErasure, memCost)

@@ -55,6 +55,10 @@ const (
 	// methodAdminStats returns the MN server's counter snapshot
 	// (ServerStats) for the CLI and monitoring surfaces.
 	methodAdminStats
+	// methodAdminTrace dumps the cluster's retained op spans and ring
+	// events (newest first bounded by the request's max) so remote
+	// tools can render a Chrome trace_event timeline (see admin.go).
+	methodAdminTrace
 )
 
 // RPC status codes.

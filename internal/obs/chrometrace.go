@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteChromeTrace renders spans and ring events as Chrome
+// trace_event JSON (the format Perfetto and chrome://tracing load).
+// The primary timeline (ts/dur) uses the fabric clock so simnet
+// traces show virtual time; wall-clock stamps ride along in args.
+//
+// Mapping: each span becomes a "X" (complete) event with pid = the
+// logical node it ran against (clients use pid 0) and tid = the
+// recording actor's track, so Perfetto nests an op's verb children
+// under the op by time containment on the same track. Ring events
+// with a duration become "X" phases on the owning MN's track 0;
+// point events (chaos injections, failure detection, recovery tier
+// boundaries) become global "i" instants.
+func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			io.WriteString(w, ",")
+		}
+		first = false
+	}
+	for i := range sorted {
+		sp := &sorted[i]
+		pid := int32(0)
+		if sp.Kind == SpanPhase && sp.Node >= 0 {
+			pid = sp.Node
+		}
+		dur := sp.End - sp.Start
+		if dur < 0 {
+			dur = 0
+		}
+		sep()
+		fmt.Fprintf(w, "{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{",
+			sp.Name, sp.Kind, usec(sp.Start), usec(dur), pid, sp.Tid)
+		fmt.Fprintf(w, "\"seq\":%d,\"trace\":%d,\"node\":%d,\"wall_start_ns\":%d,\"wall_end_ns\":%d",
+			sp.Seq, sp.Trace, sp.Node, sp.WallStart, sp.WallEnd)
+		if sp.Detail != "" {
+			fmt.Fprintf(w, ",\"detail\":%q", sp.Detail)
+		}
+		if sp.Err {
+			io.WriteString(w, ",\"error\":true")
+		}
+		io.WriteString(w, "}}")
+	}
+	for i := range events {
+		e := &events[i]
+		pid := int32(0)
+		if e.MN >= 0 {
+			pid = int32(e.MN)
+		}
+		sep()
+		if e.Dur > 0 {
+			fmt.Fprintf(w, "{\"name\":%q,\"cat\":\"ring\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d,\"mn\":%d,\"note\":%q}}",
+				e.Kind, usec(e.At-e.Dur), usec(e.Dur), pid, e.Seq, e.MN, e.Note)
+		} else {
+			fmt.Fprintf(w, "{\"name\":%q,\"cat\":\"ring\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d,\"mn\":%d,\"note\":%q}}",
+				e.Kind, usec(e.At), pid, e.Seq, e.MN, e.Note)
+		}
+	}
+	_, err := io.WriteString(w, "]}")
+	return err
+}
+
+// usec renders a fabric duration as trace_event microseconds with
+// nanosecond precision (trace_event ts/dur are float microseconds).
+func usec(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	return fmt.Sprintf("%d.%03d", d/time.Microsecond, d%time.Microsecond)
+}

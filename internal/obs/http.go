@@ -4,14 +4,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/rdma"
 )
 
+// processStart anchors aceso_process_start_time_seconds so dashboards
+// can compute uptime and correlate restarts with SLO burn.
+var processStart = time.Now()
+
 // Exporter serves /metrics (Prometheus text exposition format,
-// hand-rendered — no client library dependency) and /healthz. All
-// fields are optional; nil sources are skipped.
+// hand-rendered — no client library dependency), /healthz (liveness),
+// /readyz (readiness), /debug/optrace (Chrome trace_event JSON) and,
+// when enabled, the net/http/pprof profile handlers. All fields are
+// optional; nil sources are skipped.
 type Exporter struct {
 	// Fabric supplies verb-level counters (usually the daemon's
 	// instrumented platform metrics).
@@ -22,18 +32,44 @@ type Exporter struct {
 	// Gauges supplies store-level gauges by metric name (without the
 	// "aceso_" prefix), e.g. "ckpt_rounds_total" -> 12.
 	Gauges func() map[string]float64
-	// Trace supplies the trace ring for the event-count metric.
+	// Trace supplies the trace ring for the event-count metric and
+	// the instant events of /debug/optrace.
 	Trace *Ring
+	// Tracer supplies op spans for /debug/optrace and the span
+	// counters in /metrics.
+	Tracer *Tracer
+	// SLO supplies the windowed SLO engine for the aceso_slo_*
+	// families.
+	SLO *SLOTracker
 	// Healthy reports daemon liveness for /healthz (nil means always
 	// healthy).
 	Healthy func() bool
+	// Ready reports readiness for /readyz: the daemon should only
+	// receive traffic once recovery/resync has completed and the
+	// cluster view is current. Nil means ready whenever healthy.
+	Ready func() bool
+	// Version and FabricName label the aceso_build_info gauge.
+	Version    string
+	FabricName string
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ (cpu, heap, mutex, block, ...).
+	EnablePprof bool
 }
 
-// Handler returns the HTTP mux serving /metrics and /healthz.
+// Handler returns the HTTP mux serving the exporter's endpoints.
 func (e *Exporter) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.serveMetrics)
 	mux.HandleFunc("/healthz", e.serveHealthz)
+	mux.HandleFunc("/readyz", e.serveReadyz)
+	mux.HandleFunc("/debug/optrace", e.serveOptrace)
+	if e.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -46,6 +82,39 @@ func (e *Exporter) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+func (e *Exporter) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	if e.Healthy != nil && !e.Healthy() {
+		http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+		return
+	}
+	if e.Ready != nil && !e.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// serveOptrace dumps the retained op spans plus ring events as Chrome
+// trace_event JSON. ?n= bounds the span count (newest kept).
+func (e *Exporter) serveOptrace(w http.ResponseWriter, r *http.Request) {
+	var spans []Span
+	if e.Tracer != nil {
+		spans = e.Tracer.Snapshot()
+	}
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	var events []Event
+	if e.Trace != nil {
+		events = e.Trace.Events()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	WriteChromeTrace(w, spans, events)
+}
+
 func (e *Exporter) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.WriteProm(w)
@@ -53,6 +122,11 @@ func (e *Exporter) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // WriteProm renders every metric in Prometheus text format.
 func (e *Exporter) WriteProm(w io.Writer) {
+	header(w, "aceso_build_info", "gauge", "Build metadata; always 1.")
+	fmt.Fprintf(w, "aceso_build_info{version=%q,go_version=%q,fabric=%q} 1\n",
+		orDev(e.Version), runtime.Version(), orUnknown(e.FabricName))
+	header(w, "aceso_process_start_time_seconds", "gauge", "Unix time the process started.")
+	fmt.Fprintf(w, "aceso_process_start_time_seconds %.3f\n", float64(processStart.UnixNano())/1e9)
 	if e.Fabric != nil {
 		s := e.Fabric.Snapshot()
 		header(w, "aceso_verb_calls_total", "counter", "Verb-surface invocations (one doorbell each; rpc rides the two-sided channel).")
@@ -135,7 +209,69 @@ func (e *Exporter) WriteProm(w io.Writer) {
 	if e.Trace != nil {
 		header(w, "aceso_trace_events_total", "counter", "Trace events emitted to the ring buffer.")
 		fmt.Fprintf(w, "aceso_trace_events_total %d\n", e.Trace.Total())
+		header(w, "aceso_trace_dropped_total", "counter", "Trace events overwritten by the bounded ring before being read.")
+		fmt.Fprintf(w, "aceso_trace_dropped_total %d\n", e.Trace.Dropped())
 	}
+	if e.Tracer != nil {
+		header(w, "aceso_trace_spans_total", "counter", "Op/verb/phase spans recorded by the sampled tracer.")
+		fmt.Fprintf(w, "aceso_trace_spans_total %d\n", e.Tracer.Emitted())
+		header(w, "aceso_trace_spans_dropped_total", "counter", "Recorded spans overwritten by the bounded span ring.")
+		fmt.Fprintf(w, "aceso_trace_spans_dropped_total %d\n", e.Tracer.Dropped())
+		header(w, "aceso_trace_sample_rate", "gauge", "Configured 1-in-N op sampling rate.")
+		fmt.Fprintf(w, "aceso_trace_sample_rate %d\n", e.Tracer.SampleRate())
+	}
+	if e.SLO != nil {
+		header(w, "aceso_slo_requests_total", "counter", "Requests observed by the SLO engine by op class.")
+		reps := e.SLO.Reports()
+		for c := range reps {
+			fmt.Fprintf(w, "aceso_slo_requests_total{op=%q} %d\n", reps[c].Class, reps[c].TotalOps)
+		}
+		header(w, "aceso_slo_errors_total", "counter", "Failed requests by op class.")
+		for c := range reps {
+			fmt.Fprintf(w, "aceso_slo_errors_total{op=%q} %d\n", reps[c].Class, reps[c].TotalErrs)
+		}
+		header(w, "aceso_slo_breaches_total", "counter", "Requests over the latency target or failed, by op class.")
+		for c := range reps {
+			fmt.Fprintf(w, "aceso_slo_breaches_total{op=%q} %d\n", reps[c].Class, reps[c].TotalBrch)
+		}
+		header(w, "aceso_slo_latency_seconds", "gauge", "Windowed latency quantiles by op class.")
+		for c := range reps {
+			r := &reps[c]
+			if r.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "aceso_slo_latency_seconds{op=%q,quantile=\"0.5\"} %g\n", r.Class, r.P50.Seconds())
+			fmt.Fprintf(w, "aceso_slo_latency_seconds{op=%q,quantile=\"0.99\"} %g\n", r.Class, r.P99.Seconds())
+			fmt.Fprintf(w, "aceso_slo_latency_seconds{op=%q,quantile=\"0.999\"} %g\n", r.Class, r.P999.Seconds())
+		}
+		header(w, "aceso_slo_error_budget_burn", "gauge", "Windowed breach rate over the allowed budget (>1 = burning too fast).")
+		for c := range reps {
+			if reps[c].Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "aceso_slo_error_budget_burn{op=%q} %g\n", reps[c].Class, reps[c].BurnRate)
+		}
+		header(w, "aceso_slo_degraded", "gauge", "1 while the cluster is in degraded mode (node failure / chaos active).")
+		d := 0
+		if e.SLO.Degraded() {
+			d = 1
+		}
+		fmt.Fprintf(w, "aceso_slo_degraded %d\n", d)
+	}
+}
+
+func orDev(s string) string {
+	if s == "" {
+		return "dev"
+	}
+	return s
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 func header(w io.Writer, name, typ, help string) {

@@ -202,70 +202,227 @@ func (m *FabricMetrics) countList(ops []rdma.Op) {
 // (virtual on simnet), so instrumentation never perturbs simulated
 // timing. A nil m returns inner unchanged.
 func WrapCtx(inner rdma.Ctx, m *FabricMetrics) rdma.Ctx {
-	if m == nil {
+	return WrapCtxTraced(inner, m, nil)
+}
+
+// WrapCtxTraced is WrapCtx plus sampled span tracing: when tr is
+// non-nil the returned ctx implements OpTracer, and while a sampled
+// op is open every verb issued through the ctx records a child span.
+func WrapCtxTraced(inner rdma.Ctx, m *FabricMetrics, tr *Tracer) rdma.Ctx {
+	if m == nil && tr == nil {
 		return inner
 	}
-	return &ctxWrapper{inner: inner, m: m}
+	if m == nil {
+		m = NewFabricMetrics()
+	}
+	return &ctxWrapper{inner: inner, m: m, tr: tr}
+}
+
+// OpTracer is the per-op tracing surface a traced ctx exposes. The
+// core client type-asserts its attached ctx to this and brackets each
+// GET/UPDATE/INSERT/DELETE with OpBegin/OpEnd; OpMark annotates
+// sub-phases (lock-stripe waits, degraded reads) inside a sampled op.
+type OpTracer interface {
+	// OpBegin opens an op span named name (a static string). It
+	// advances the sampling counter and reports whether this op is
+	// sampled; unsampled ops record nothing and cost one atomic add.
+	OpBegin(name string) bool
+	// OpEnd closes the open op span, if any.
+	OpEnd(failed bool)
+	// OpMark records a sub-span from fabric time start to now inside
+	// the open op span; a no-op when the current op is unsampled.
+	OpMark(name string, start time.Duration)
 }
 
 type ctxWrapper struct {
 	inner rdma.Ctx
 	m     *FabricMetrics
+	tr    *Tracer
+
+	// Per-op tracing state. A ctx belongs to exactly one process
+	// (processes are single-threaded on both fabrics), so this state
+	// needs no synchronisation.
+	tid     int32
+	tracing bool // a sampled op is open; verbs record child spans
+	opName  string
+	opTrace uint64
+	opStart time.Duration
+	opWall  int64
+}
+
+func (w *ctxWrapper) OpBegin(name string) bool {
+	t := w.tr
+	if t == nil || !t.Sampled() {
+		w.tracing = false
+		return false
+	}
+	if w.tid == 0 {
+		w.tid = t.NewTid()
+	}
+	w.tracing = true
+	w.opName = name
+	w.opTrace = t.NewTraceID()
+	w.opStart = w.inner.Now()
+	w.opWall = t.WallNow()
+	return true
+}
+
+func (w *ctxWrapper) OpEnd(failed bool) {
+	if !w.tracing {
+		return
+	}
+	w.tracing = false
+	w.tr.Record(Span{
+		Trace: w.opTrace, Kind: SpanOp, Err: failed, Node: -1, Tid: w.tid,
+		Name: w.opName, Start: w.opStart, End: w.inner.Now(),
+		WallStart: w.opWall, WallEnd: w.tr.WallNow(),
+	})
+}
+
+func (w *ctxWrapper) OpMark(name string, start time.Duration) {
+	if !w.tracing {
+		return
+	}
+	end := w.inner.Now()
+	wallEnd := w.tr.WallNow()
+	w.tr.Record(Span{
+		Trace: w.opTrace, Kind: SpanMark, Node: -1, Tid: w.tid,
+		Name: name, Start: start, End: end,
+		// Fabric-projected wall start: on simnet the wall clock does
+		// not advance with virtual time, so the mark's wall interval
+		// mirrors its fabric duration.
+		WallStart: wallEnd - int64(end-start), WallEnd: wallEnd,
+	})
+}
+
+// span records one verb child span of the open op. Only called when
+// w.tracing is true; never allocates (static names, struct copy into
+// the tracer's pre-allocated ring).
+func (w *ctxWrapper) span(c Call, node rdma.NodeID, start, end time.Duration, wallStart int64, err error) {
+	w.tr.Record(Span{
+		Trace: w.opTrace, Kind: SpanVerb, Err: err != nil,
+		Node: int32(node), Tid: w.tid,
+		Name: callNames[c], Start: start, End: end,
+		WallStart: wallStart, WallEnd: w.tr.WallNow(),
+	})
 }
 
 func (w *ctxWrapper) Read(buf []byte, addr rdma.GlobalAddr) error {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	err := w.inner.Read(buf, addr)
+	end := w.inner.Now()
 	w.m.countOp(rdma.OpRead, len(buf))
-	w.m.observe(CallRead, start, w.inner.Now(), err)
+	w.m.observe(CallRead, start, end, err)
+	if w.tracing {
+		w.span(CallRead, addr.Node, start, end, wall, err)
+	}
 	return err
 }
 
 func (w *ctxWrapper) Write(addr rdma.GlobalAddr, data []byte) error {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	err := w.inner.Write(addr, data)
+	end := w.inner.Now()
 	w.m.countOp(rdma.OpWrite, len(data))
-	w.m.observe(CallWrite, start, w.inner.Now(), err)
+	w.m.observe(CallWrite, start, end, err)
+	if w.tracing {
+		w.span(CallWrite, addr.Node, start, end, wall, err)
+	}
 	return err
 }
 
 func (w *ctxWrapper) CAS(addr rdma.GlobalAddr, old, new uint64) (uint64, error) {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	prev, err := w.inner.CAS(addr, old, new)
+	end := w.inner.Now()
 	w.m.countOp(rdma.OpCAS, 8)
-	w.m.observe(CallCAS, start, w.inner.Now(), err)
+	w.m.observe(CallCAS, start, end, err)
+	if w.tracing {
+		w.span(CallCAS, addr.Node, start, end, wall, err)
+	}
 	return prev, err
 }
 
 func (w *ctxWrapper) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	prev, err := w.inner.FAA(addr, delta)
+	end := w.inner.Now()
 	w.m.countOp(rdma.OpFAA, 8)
-	w.m.observe(CallFAA, start, w.inner.Now(), err)
+	w.m.observe(CallFAA, start, end, err)
+	if w.tracing {
+		w.span(CallFAA, addr.Node, start, end, wall, err)
+	}
 	return prev, err
 }
 
+func listNode(ops []rdma.Op) rdma.NodeID {
+	if len(ops) > 0 {
+		return ops[0].Addr.Node
+	}
+	return 0
+}
+
 func (w *ctxWrapper) Batch(ops []rdma.Op) error {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	err := w.inner.Batch(ops)
+	end := w.inner.Now()
 	w.m.countList(ops)
-	w.m.observe(CallBatch, start, w.inner.Now(), err)
+	w.m.observe(CallBatch, start, end, err)
+	if w.tracing {
+		w.span(CallBatch, listNode(ops), start, end, wall, err)
+	}
 	return err
 }
 
 func (w *ctxWrapper) Post(ops []rdma.Op) error {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	err := w.inner.Post(ops)
+	end := w.inner.Now()
 	w.m.countList(ops)
-	w.m.observe(CallPost, start, w.inner.Now(), err)
+	w.m.observe(CallPost, start, end, err)
+	if w.tracing {
+		w.span(CallPost, listNode(ops), start, end, wall, err)
+	}
 	return err
 }
 
 func (w *ctxWrapper) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) {
+	var wall int64
+	if w.tracing {
+		wall = w.tr.WallNow()
+	}
 	start := w.inner.Now()
 	resp, err := w.inner.RPC(node, method, req)
+	end := w.inner.Now()
 	w.m.rpcBytes.Add(uint64(len(req) + len(resp)))
-	w.m.observe(CallRPC, start, w.inner.Now(), err)
+	w.m.observe(CallRPC, start, end, err)
+	if w.tracing {
+		w.span(CallRPC, node, start, end, wall, err)
+	}
 	return resp, err
 }
 
@@ -283,6 +440,7 @@ func (w *ctxWrapper) LocalMem() []byte                 { return w.inner.LocalMem
 type Platform struct {
 	inner rdma.Platform
 	m     *FabricMetrics
+	tr    atomic.Pointer[Tracer]
 }
 
 // Instrument wraps pl. Keep the concrete fabric handle for
@@ -295,6 +453,14 @@ func Instrument(pl rdma.Platform, m *FabricMetrics) *Platform {
 // Metrics returns the shared metrics aggregate.
 func (p *Platform) Metrics() *FabricMetrics { return p.m }
 
+// SetTracer installs a span tracer: processes spawned afterwards run
+// with a traced ctx (implementing OpTracer). Call before the cluster
+// spawns its processes.
+func (p *Platform) SetTracer(tr *Tracer) { p.tr.Store(tr) }
+
+// Tracer returns the installed span tracer (nil when untraced).
+func (p *Platform) Tracer() *Tracer { return p.tr.Load() }
+
 // Inner returns the wrapped fabric.
 func (p *Platform) Inner() rdma.Platform { return p.inner }
 
@@ -305,9 +471,10 @@ func (p *Platform) Fail(node rdma.NodeID)                         { p.inner.Fail
 func (p *Platform) Memory(node rdma.NodeID) []byte                { return p.inner.Memory(node) }
 func (p *Platform) MemMutex(node rdma.NodeID) sync.Locker         { return p.inner.MemMutex(node) }
 
-// Spawn starts fn with an instrumented ctx.
+// Spawn starts fn with an instrumented (and, when a tracer is
+// installed, traced) ctx.
 func (p *Platform) Spawn(node rdma.NodeID, name string, fn func(rdma.Ctx)) {
-	p.inner.Spawn(node, name, func(ctx rdma.Ctx) { fn(WrapCtx(ctx, p.m)) })
+	p.inner.Spawn(node, name, func(ctx rdma.Ctx) { fn(WrapCtxTraced(ctx, p.m, p.tr.Load())) })
 }
 
 // Failed implements rdma.FaultInjector by delegation (false when the

@@ -24,6 +24,11 @@ type Event struct {
 	Dur time.Duration
 	// Note carries free-form detail (byte counts, epoch numbers).
 	Note string
+	// Seq is the ring-assigned monotonic sequence number: the first
+	// event ever emitted is 0. A gap between consecutive retained
+	// events means the bounded ring overwrote records in between, so
+	// consumers can detect loss mid-incident.
+	Seq uint64
 }
 
 func (e Event) String() string {
@@ -58,9 +63,11 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, 0, capacity)}
 }
 
-// Emit appends an event, overwriting the oldest once full.
+// Emit appends an event, stamping its monotonic sequence number and
+// overwriting the oldest once full.
 func (r *Ring) Emit(e Event) {
 	r.mu.Lock()
+	e.Seq = r.total
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 	} else {
@@ -86,4 +93,12 @@ func (r *Ring) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns the number of events the bounded ring has
+// overwritten (ever emitted minus retained).
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
 }

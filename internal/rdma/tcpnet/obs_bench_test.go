@@ -1,0 +1,68 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdma"
+)
+
+// benchBurstMixObs replays the BenchmarkBurstMix 32-op batch shape
+// through the obs ctx wrapper, with the span tracer either absent
+// (tr == nil: metrics-only, the production default when tracing is
+// disabled) or attached at its default 1/64 sampling with a full
+// client op bracket per batch. The /off vs /on delta is the tracer's
+// hot-path cost; CI gates it at <5% ns/op and 0 allocs/op.
+func benchBurstMixObs(b *testing.B, tr *obs.Tracer) {
+	pl, id := benchGroup(b, Options{})
+	m := obs.NewFabricMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const clients = 8
+	var wg sync.WaitGroup
+	per := b.N/(32*clients) + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			inner := &ctx{pl: pl, node: pl.AddComputeNode(), verbs: newVerbs(pl)}
+			v := obs.WrapCtxTraced(inner, m, tr)
+			ot, _ := v.(obs.OpTracer)
+			base := uint64(4096 + c*32*1024)
+			shared := rdma.GlobalAddr{Node: id, Off: uint64(8 * (c % 8))}
+			ops := make([]rdma.Op, 32)
+			bufs := make([][]byte, 31)
+			for i := range bufs {
+				bufs[i] = make([]byte, 64)
+			}
+			for i := 0; i < per; i++ {
+				if ot != nil {
+					ot.OpBegin("get")
+				}
+				for j := 0; j < 31; j++ {
+					kind := rdma.OpRead
+					if j%2 == 0 {
+						kind = rdma.OpWrite
+					}
+					ops[j] = rdma.Op{Kind: kind, Addr: rdma.GlobalAddr{Node: id, Off: base + uint64(((i+j)%64)*512)}, Buf: bufs[j]}
+				}
+				ops[31] = rdma.Op{Kind: rdma.OpFAA, Addr: shared, New: 1}
+				err := v.Batch(ops)
+				if ot != nil {
+					ot.OpEnd(err != nil)
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func BenchmarkBurstMixObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchBurstMixObs(b, nil) })
+	b.Run("on", func(b *testing.B) { benchBurstMixObs(b, obs.NewTracer(64, 4096)) })
+}
