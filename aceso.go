@@ -5,29 +5,46 @@
 // protects the KV pairs, and a tiered scheme recovers a crashed memory
 // node's functionality in index-recovery time.
 //
-// The package is a facade over internal/core. A cluster runs on one of
-// two fabrics behind the same API: the deterministic simulated RDMA
-// fabric (NewSimCluster — used by all benchmarks; virtual time,
-// calibrated NIC cost model) or the real TCP transport (NewTCPCluster —
-// every memory node serves its own loopback listener, wall clock; the
-// same fabric cmd/acesod deploys across processes).
+// The package is a facade over internal/core. Open creates a cluster
+// from a Config plus options: the fabric (WithFabric — the
+// deterministic simulated RDMA fabric used by all benchmarks, or the
+// real TCP transport cmd/acesod deploys across processes) and, through
+// Config.FTMode, the fault-tolerance mode. Besides Aceso's own hybrid
+// scheme ("aceso", the default) the same API serves the replication
+// baselines: FUSEE-style full replication ("fusee-replication") and
+// SWARM-style in-place replication ("swarm-inplace").
 //
 // Quickstart:
 //
-//	cluster, _ := aceso.NewSimCluster(aceso.DefaultConfig())
+//	cluster, _ := aceso.Open(aceso.DefaultConfig())
 //	cluster.Start()
 //	cluster.RunClient("app", func(c *aceso.Client) {
 //		c.Insert([]byte("k"), []byte("v"))
 //		v, _ := c.Search([]byte("k"))
 //		fmt.Println(string(v))
 //	})
+//
+// Mode-generic callers (anything that must run on every ftmode) use
+// RunKV/SpawnKV, which hand out the narrow KV surface instead of the
+// full Aceso *Client:
+//
+//	cfg := aceso.DefaultConfig()
+//	cfg.FTMode = "swarm-inplace"
+//	cluster, _ := aceso.Open(cfg)
+//	cluster.Start()
+//	cluster.RunKV("app", func(c aceso.KV) { c.Insert([]byte("k"), []byte("v")) })
 package aceso
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ftmode"
+	// Link every fault-tolerance mode into the registry so Config.FTMode
+	// accepts all of them.
+	_ "repro/internal/ftmodes"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/simnet"
@@ -37,12 +54,26 @@ import (
 // Config parameterises a coding group; see the field docs in
 // internal/core. DefaultConfig matches the paper's setup (5 MNs,
 // 3 data + 2 parity per stripe, 2 MB blocks, 500 ms checkpoints),
-// scaled down in memory footprint.
+// scaled down in memory footprint. Config.FTMode selects the
+// fault-tolerance mode (empty = "aceso").
 type Config = core.Config
 
 // Client executes KV requests (INSERT, UPDATE, SEARCH, DELETE) with
-// one-sided verbs. Bind one client per process via RunClient.
+// one-sided verbs. Bind one client per process via RunClient. Client is
+// the full Aceso client; mode-generic code uses KV instead.
 type Client = core.Client
+
+// KV is the mode-generic client surface every fault-tolerance mode
+// provides: the four verbs plus Close and the uniform verbs counters.
+type KV = ftmode.Client
+
+// Caps declares which harness surfaces the cluster's fault-tolerance
+// mode implements (degraded reads, tiered recovery, read failover, …).
+type Caps = ftmode.Caps
+
+// Usage is the mode-generic space accounting (total footprint, and the
+// valid/redundant split for modes that can break it down).
+type Usage = ftmode.Usage
 
 // ClientStats is a client's operation/cache/retry counter set,
 // readable as Client.Stats from inside the client's own process.
@@ -72,11 +103,24 @@ type ServerStats = core.ServerStats
 // fabric, which has no transport layer to fault.
 type TransportStats = rdma.TransportStats
 
-// Errors re-exported from the client.
+// Errors re-exported from the client. Every fault-tolerance mode's
+// errors match these under errors.Is.
 var (
-	ErrNotFound = core.ErrNotFound
-	ErrNoSpace  = core.ErrNoSpace
+	ErrNotFound         = core.ErrNotFound
+	ErrNoSpace          = core.ErrNoSpace
+	ErrRetriesExhausted = core.ErrRetriesExhausted
 )
+
+// Fault-tolerance mode names accepted in Config.FTMode.
+const (
+	FTModeAceso = core.FTModeAceso
+	FTModeFusee = core.FTModeFusee
+	FTModeSwarm = core.FTModeSwarm
+)
+
+// FTModes returns the fault-tolerance modes linked into this binary,
+// sorted.
+func FTModes() []string { return core.FTModes() }
 
 // DefaultConfig returns the paper-default configuration, scaled down.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -134,11 +178,34 @@ func (f *tcpFabric) runUntil(cond func() bool) bool {
 	return true
 }
 
-// Cluster is one Aceso coding group plus its master, running inside
-// this process on either fabric.
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	fabricName string
+}
+
+// Fabric names accepted by WithFabric.
+const (
+	FabricSim = "sim"
+	FabricTCP = "tcp"
+)
+
+// WithFabric selects the fabric the cluster runs on: FabricSim (the
+// deterministic simulated RDMA fabric; the default) or FabricTCP (the
+// real TCP transport — every memory node serves a loopback listener,
+// all verbs cross real sockets, time is the wall clock).
+func WithFabric(name string) Option {
+	return func(o *options) { o.fabricName = name }
+}
+
+// Cluster is one coding group plus whatever server machinery its
+// fault-tolerance mode runs (Aceso: MN daemons and the master),
+// running inside this process on either fabric.
 type Cluster struct {
 	fab     fabric
-	cl      *core.Cluster
+	ft      ftmode.Cluster
+	cl      *core.Cluster // non-nil iff the mode is "aceso"
 	started bool
 
 	mu      sync.Mutex // guards pending/done (client bodies finish on goroutines)
@@ -146,55 +213,93 @@ type Cluster struct {
 	done    int
 }
 
-// NewSimCluster creates a cluster of cfg.Layout.NumMNs memory nodes on
-// a fresh simulated fabric. Call Start before running clients.
-func NewSimCluster(cfg Config) (*Cluster, error) {
-	pl := simnet.New(simnet.DefaultConfig())
-	cl, err := core.NewCluster(cfg, pl)
+// Open creates a cluster of cfg.Layout.NumMNs memory nodes running the
+// fault-tolerance mode named by cfg.FTMode (empty = "aceso") on the
+// fabric selected by the options (default: simulated). Call Start
+// before running clients.
+func Open(cfg Config, opts ...Option) (*Cluster, error) {
+	o := options{fabricName: FabricSim}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var fab fabric
+	switch o.fabricName {
+	case FabricSim:
+		fab = &simFabric{pl: simnet.New(simnet.DefaultConfig())}
+	case FabricTCP:
+		pl := tcpnet.NewGroup()
+		pl.SetOptions(tcpnet.Options{
+			OpTimeout:   time.Second,
+			RetryBudget: 2 * time.Second,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+		})
+		fab = &tcpFabric{pl: pl, start: time.Now()}
+	default:
+		return nil, fmt.Errorf("aceso: unknown fabric %q (want %q or %q)", o.fabricName, FabricSim, FabricTCP)
+	}
+	ft, err := core.OpenFT(cfg, fab.platform())
 	if err != nil {
+		fab.close()
 		return nil, err
 	}
-	return &Cluster{fab: &simFabric{pl: pl}, cl: cl}, nil
-}
-
-// NewTCPCluster creates the same coding group on the real TCP fabric:
-// every memory node serves a loopback listener and all verbs cross
-// real sockets, so failure injection exercises genuine connection
-// teardown, reconnects and retry budgets. Time is the wall clock
-// (Advance sleeps; RunUntil polls).
-func NewTCPCluster(cfg Config) (*Cluster, error) {
-	pl := tcpnet.NewGroup()
-	pl.SetOptions(tcpnet.Options{
-		OpTimeout:   time.Second,
-		RetryBudget: 2 * time.Second,
-		BackoffBase: time.Millisecond,
-		BackoffMax:  50 * time.Millisecond,
-	})
-	cl, err := core.NewCluster(cfg, pl)
-	if err != nil {
-		return nil, err
+	c := &Cluster{fab: fab, ft: ft}
+	if a, ok := ft.(interface{ Core() *core.Cluster }); ok {
+		c.cl = a.Core()
 	}
-	return &Cluster{fab: &tcpFabric{pl: pl, start: time.Now()}, cl: cl}, nil
+	return c, nil
 }
 
-// Start launches the memory-node servers and the master (membership,
-// checkpoint rounds, failure handling), and provisions one spare MN
-// for recovery.
+// NewSimCluster creates a cluster on a fresh simulated fabric.
+//
+// Deprecated: use Open (the simulated fabric is the default).
+func NewSimCluster(cfg Config) (*Cluster, error) { return Open(cfg) }
+
+// NewTCPCluster creates the same coding group on the real TCP fabric,
+// so failure injection exercises genuine connection teardown,
+// reconnects and retry budgets.
+//
+// Deprecated: use Open with WithFabric(FabricTCP).
+func NewTCPCluster(cfg Config) (*Cluster, error) { return Open(cfg, WithFabric(FabricTCP)) }
+
+// core returns the underlying aceso-mode cluster, or panics with a
+// clear message when the cluster runs another fault-tolerance mode:
+// the caller reached for an Aceso-only surface.
+func (c *Cluster) core() *core.Cluster {
+	if c.cl == nil {
+		panic(fmt.Sprintf("aceso: surface requires FTMode=%q, cluster runs %q (use the mode-generic API: RunKV/SpawnKV/Caps/Usage)", core.FTModeAceso, c.ft.Mode()))
+	}
+	return c.cl
+}
+
+// FTMode returns the cluster's fault-tolerance mode name.
+func (c *Cluster) FTMode() string { return c.ft.Mode() }
+
+// Caps reports which harness surfaces the cluster's mode implements.
+func (c *Cluster) Caps() Caps { return c.ft.Caps() }
+
+// Start launches the mode's server machinery. For Aceso that is the
+// memory-node servers and the master (membership, checkpoint rounds,
+// failure handling) with one spare MN provisioned for recovery; the
+// replication modes install their handlers at Open and start nothing.
 func (c *Cluster) Start() {
 	if c.started {
 		return
 	}
-	c.cl.StartServers()
-	c.cl.StartMaster().AddSpare()
+	if err := c.ft.Start(); err != nil {
+		panic(fmt.Sprintf("aceso: start %s: %v", c.ft.Mode(), err))
+	}
 	c.started = true
 }
 
-// AddSpare provisions another idle memory node for recovery.
-func (c *Cluster) AddSpare() { c.cl.Master().AddSpare() }
+// AddSpare provisions another idle memory node for recovery
+// (Aceso mode only).
+func (c *Cluster) AddSpare() { c.core().Master().AddSpare() }
 
-// RunClient executes fn as a client process on its own compute node
-// and drives time until fn returns. It is the synchronous convenience
-// wrapper; use SpawnClient to run several concurrently.
+// RunClient executes fn as a full Aceso client on its own compute node
+// and drives time until fn returns (Aceso mode only — mode-generic
+// callers use RunKV). It is the synchronous convenience wrapper; use
+// SpawnClient to run several concurrently.
 func (c *Cluster) RunClient(name string, fn func(*Client)) {
 	var mu sync.Mutex
 	done := false
@@ -211,14 +316,48 @@ func (c *Cluster) RunClient(name string, fn func(*Client)) {
 	})
 }
 
-// SpawnClient starts fn as a client process without advancing time;
-// combine with RunUntil or Wait.
+// SpawnClient starts fn as a full Aceso client process without
+// advancing time (Aceso mode only); combine with RunUntil or Wait.
 func (c *Cluster) SpawnClient(name string, fn func(*Client)) {
+	cl := c.core()
 	cn := c.fab.addComputeNode()
 	c.mu.Lock()
 	c.pending++
 	c.mu.Unlock()
-	c.cl.SpawnClient(cn, name, func(cli *Client) {
+	cl.SpawnClient(cn, name, func(cli *Client) {
+		fn(cli)
+		c.mu.Lock()
+		c.done++
+		c.mu.Unlock()
+	})
+}
+
+// RunKV executes fn as a mode-generic client and drives time until fn
+// returns. It works on every fault-tolerance mode.
+func (c *Cluster) RunKV(name string, fn func(KV)) {
+	var mu sync.Mutex
+	done := false
+	c.SpawnKV(name, func(cli KV) {
+		fn(cli)
+		mu.Lock()
+		done = true
+		mu.Unlock()
+	})
+	c.RunUntil(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return done
+	})
+}
+
+// SpawnKV starts fn as a mode-generic client process without advancing
+// time; combine with RunUntil or Wait. It works on every mode.
+func (c *Cluster) SpawnKV(name string, fn func(KV)) {
+	cn := c.fab.addComputeNode()
+	c.mu.Lock()
+	c.pending++
+	c.mu.Unlock()
+	c.ft.SpawnClient(cn, name, func(cli ftmode.Client) {
 		fn(cli)
 		c.mu.Lock()
 		c.done++
@@ -247,40 +386,51 @@ func (c *Cluster) Wait() bool {
 // Now returns the current time (virtual or wall, by fabric).
 func (c *Cluster) Now() time.Duration { return c.fab.now() }
 
-// FailMN injects a fail-stop crash of logical memory node mn. The
-// master detects it and runs tiered recovery onto a spare. On the TCP
-// fabric this tears down the node's listener and live connections for
-// real.
-func (c *Cluster) FailMN(mn int) { c.cl.FailMN(mn) }
+// FailMN injects a fail-stop crash of logical memory node mn. What
+// happens next is the mode's story: Aceso's master detects it and runs
+// tiered recovery onto a spare; the replication modes fail clients over
+// to surviving replicas. On the TCP fabric this tears down the node's
+// listener and live connections for real.
+func (c *Cluster) FailMN(mn int) { c.ft.FailMN(mn) }
 
 // SetChaos installs (or, with a zero config, clears) probabilistic
 // drop/delay/reset injection on the node serving logical MN mn.
 func (c *Cluster) SetChaos(mn int, cfg ChaosConfig) {
 	if fi, ok := c.fab.platform().(rdma.FaultInjector); ok {
-		fi.SetChaos(c.cl.MNNode(mn), cfg)
+		// The replication modes pin MN i to fabric node i; Aceso's
+		// mapping can shift when a spare takes over a logical MN.
+		node := rdma.NodeID(mn)
+		if c.cl != nil {
+			node = c.cl.MNNode(mn)
+		}
+		fi.SetChaos(node, cfg)
 	}
 }
 
 // MNState reports a memory node's recovery progress: failed (down),
-// indexReady (tier 2 done: writes at full speed, reads degraded) and
-// blocksReady (tier 3 done: fully recovered).
+// indexReady and blocksReady. Under tiered recovery (Aceso) the ready
+// flags track the rebuild (tier 2: writes at full speed, reads
+// degraded; tier 3: fully recovered); replication modes report
+// !failed for both, since data never leaves the surviving replicas.
 func (c *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
-	return c.cl.MNState(mn)
+	return c.ft.MNState(mn)
 }
 
-// RecoveryReports returns the reports of completed MN recoveries.
+// RecoveryReports returns the reports of completed MN recoveries
+// (Aceso mode only).
 func (c *Cluster) RecoveryReports() []*RecoveryReport {
-	return c.cl.Master().ReportList()
+	return c.core().Master().ReportList()
 }
 
 // Trace returns the cluster's trace events oldest-first: failure
 // detections and per-tier recovery phase timings, stamped with the
-// fabric clock.
-func (c *Cluster) Trace() []TraceEvent { return c.cl.Trace().Events() }
+// fabric clock (Aceso mode only).
+func (c *Cluster) Trace() []TraceEvent { return c.core().Trace().Events() }
 
 // MNStats snapshots the management-plane counters of logical MN mn
-// (in-process; remote daemons are queried with Client.StatsMN).
-func (c *Cluster) MNStats(mn int) ServerStats { return c.cl.Server(mn).Stats() }
+// (Aceso mode, in-process; remote daemons are queried with
+// Client.StatsMN).
+func (c *Cluster) MNStats(mn int) ServerStats { return c.core().Server(mn).Stats() }
 
 // TransportStats returns the fabric's transport-level fault/retry
 // counters (zero on the simulated fabric).
@@ -291,19 +441,29 @@ func (c *Cluster) TransportStats() TransportStats {
 	return TransportStats{}
 }
 
-// MemoryUsage scans the group's Block Areas (Figure 12 accounting).
-func (c *Cluster) MemoryUsage() MemoryUsage { return c.cl.MemoryUsage() }
+// MemoryUsage scans the group's Block Areas (Figure 12 accounting;
+// Aceso mode only — mode-generic callers use Usage).
+func (c *Cluster) MemoryUsage() MemoryUsage { return c.core().MemoryUsage() }
+
+// Usage is the mode-generic space accounting: the total block-area
+// footprint, plus the valid/redundant split when the mode's Caps claim
+// SpaceBreakdown.
+func (c *Cluster) Usage() Usage { return c.ft.Usage() }
 
 // Reclaimed returns how many blocks were handed out through
-// delta-based space reclamation (§3.3.3).
-func (c *Cluster) Reclaimed() int { return c.cl.Reclaimed() }
+// delta-based space reclamation (§3.3.3; Aceso mode only).
+func (c *Cluster) Reclaimed() int { return c.core().Reclaimed() }
 
 // NumMNs returns the coding-group size.
-func (c *Cluster) NumMNs() int { return c.cl.Cfg.Layout.NumMNs }
+func (c *Cluster) NumMNs() int { return c.ft.NumMNs() }
 
 // Close unwinds the fabric. The cluster must not be used afterwards.
 func (c *Cluster) Close() { c.fab.close() }
 
 // Internal returns the underlying core cluster and platform for
-// advanced instrumentation (benchmark harnesses).
-func (c *Cluster) Internal() (*core.Cluster, rdma.Platform) { return c.cl, c.fab.platform() }
+// advanced instrumentation (benchmark harnesses; Aceso mode only).
+func (c *Cluster) Internal() (*core.Cluster, rdma.Platform) { return c.core(), c.fab.platform() }
+
+// InternalFT returns the underlying mode cluster and platform for
+// mode-generic harnesses (bench experiments that drive every ftmode).
+func (c *Cluster) InternalFT() (ftmode.Cluster, rdma.Platform) { return c.ft, c.fab.platform() }

@@ -15,7 +15,10 @@
 //	> chaos 2 7 0.02 0.1 1ms 0.02 seeded drop/delay/reset injection on mn2
 //	> chaos 2                     clear injection on mn2
 //
-// Start it with the same -peers and geometry flags as the daemons.
+// Start it with the same -peers, -ftmode and geometry flags as the
+// daemons. Against replication-mode daemons the KV commands work
+// unchanged; the Aceso-only commands (chaos, trace, stats <mn>) report
+// that the mode does not serve them.
 package main
 
 import (
@@ -32,6 +35,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ftmode"
+	// Link every fault-tolerance mode into the -ftmode registry.
+	_ "repro/internal/ftmodes"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
@@ -41,6 +47,7 @@ import (
 func main() {
 	peers := flag.String("peers", "", "comma-separated addresses of all memory nodes, in id order")
 	cfg := core.DefaultConfig()
+	flag.StringVar(&cfg.FTMode, "ftmode", core.FTModeAceso, "fault-tolerance mode (must match the daemons): "+strings.Join(core.FTModes(), " | "))
 	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
 	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size")
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
@@ -60,17 +67,21 @@ func main() {
 	pl := tcpnet.New(addrs, 0, false)
 	transportStats = pl.TransportStats
 	ipl := obs.Instrument(pl, obs.NewFabricMetrics())
-	cl, err := core.NewCluster(cfg, ipl)
+	ft, err := core.OpenFT(cfg, ipl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
-	ipl.SetTracer(cl.Tracer())
-	localSpans = cl.Tracer().Snapshot
-	localEvents = cl.Trace().Events
+	ftModeName = ft.Mode()
+	if a, ok := ft.(interface{ Core() *core.Cluster }); ok {
+		cl := a.Core()
+		ipl.SetTracer(cl.Tracer())
+		localSpans = cl.Tracer().Snapshot
+		localEvents = cl.Trace().Events
+	}
 	cn := ipl.AddComputeNode()
 
 	done := make(chan struct{})
-	cl.SpawnClient(cn, "acesocli", func(c *core.Client) {
+	ft.SpawnClient(cn, "acesocli", func(c ftmode.Client) {
 		defer close(done)
 		sc := bufio.NewScanner(os.Stdin)
 		fmt.Print("> ")
@@ -88,6 +99,9 @@ func main() {
 	pl.Close()
 }
 
+// ftModeName labels the stats output; set in main once the mode opens.
+var ftModeName = core.FTModeAceso
+
 // transportStats reads the process-wide fabric counters; set in main
 // once the platform exists.
 var transportStats func() rdma.TransportStats
@@ -100,7 +114,7 @@ var transportStats func() rdma.TransportStats
 var localSpans func() []obs.Span
 var localEvents func() []obs.Event
 
-func execute(c *core.Client, fields []string) (quit bool) {
+func execute(c ftmode.Client, fields []string) (quit bool) {
 	switch fields[0] {
 	case "get":
 		if len(fields) != 2 {
@@ -139,11 +153,17 @@ func execute(c *core.Client, fields []string) (quit bool) {
 	case "stats":
 		switch len(fields) {
 		case 1:
-			s := c.Stats
-			fmt.Printf("ops=%d (search=%d insert=%d update=%d delete=%d) cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d cacheMisses=%d degraded=%d invalidations=%d\n",
-				s.Ops, s.Searches, s.Inserts, s.Updates, s.Deletes,
-				s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries,
-				s.CacheHits, s.CacheMisses, s.DegradedReads, s.Invalidations)
+			fmt.Printf("ftmode=%s\n", ftModeName)
+			if cc, ok := c.(*core.Client); ok {
+				s := cc.Stats
+				fmt.Printf("ops=%d (search=%d insert=%d update=%d delete=%d) cas=%d reads=%d writes=%d casRetries=%d cacheHits=%d cacheMisses=%d degraded=%d invalidations=%d\n",
+					s.Ops, s.Searches, s.Inserts, s.Updates, s.Deletes,
+					s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries,
+					s.CacheHits, s.CacheMisses, s.DegradedReads, s.Invalidations)
+			} else {
+				cas, reads, writes := c.Counters()
+				fmt.Printf("cas=%d reads=%d writes=%d\n", cas, reads, writes)
+			}
 			if transportStats != nil {
 				t := transportStats()
 				fmt.Printf("transport: openConns=%d", t.OpenConns)
@@ -183,10 +203,15 @@ func execute(c *core.Client, fields []string) (quit bool) {
 			fmt.Println("error: mn must be an integer")
 			return
 		}
-		if err := c.KillMN(mn); err != nil {
+		killer, ok := c.(interface{ KillMN(mn int) error })
+		if !ok {
+			fmt.Printf("ftmode %s does not serve the admin kill verb\n", ftModeName)
+			return
+		}
+		if err := killer.KillMN(mn); err != nil {
 			fmt.Println("error:", err)
 		} else {
-			fmt.Printf("fail-stop injected on mn%d (master will recover it onto a spare)\n", mn)
+			fmt.Printf("fail-stop injected on mn%d\n", mn)
 		}
 	case "chaos":
 		if len(fields) != 2 && len(fields) != 7 {
@@ -207,7 +232,14 @@ func execute(c *core.Client, fields []string) (quit bool) {
 				return
 			}
 		}
-		if err := c.ChaosMN(mn, cfg); err != nil {
+		chaoser, ok := c.(interface {
+			ChaosMN(mn int, cfg rdma.ChaosConfig) error
+		})
+		if !ok {
+			fmt.Printf("ftmode %s does not serve the admin chaos verb\n", ftModeName)
+			return
+		}
+		if err := chaoser.ChaosMN(mn, cfg); err != nil {
 			fmt.Println("error:", err)
 		} else if cfg.Enabled() {
 			fmt.Printf("chaos installed on mn%d: drop=%.3f delay=%.3f(max %v) reset=%.3f seed=%d\n",
@@ -216,8 +248,15 @@ func execute(c *core.Client, fields []string) (quit bool) {
 			fmt.Printf("chaos cleared on mn%d\n", mn)
 		}
 	case "trace":
+		tracer, ok := c.(interface {
+			TraceMN(mn, max int) ([]obs.Span, []obs.Event, error)
+		})
+		if !ok {
+			fmt.Printf("ftmode %s does not serve the admin trace verb\n", ftModeName)
+			return
+		}
 		fetch := func(mn, max int) ([]obs.Span, []obs.Event, error) {
-			spans, events, err := c.TraceMN(mn, max)
+			spans, events, err := tracer.TraceMN(mn, max)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -307,8 +346,15 @@ func traceCmd(fetch func(mn, max int) ([]obs.Span, []obs.Event, error), args []s
 
 // printMNStats fetches a memory node's server counters over the admin
 // Stats RPC and renders them as an aligned table.
-func printMNStats(c *core.Client, mn int) {
-	st, err := c.StatsMN(mn)
+func printMNStats(c ftmode.Client, mn int) {
+	statser, ok := c.(interface {
+		StatsMN(mn int) (core.ServerStats, error)
+	})
+	if !ok {
+		fmt.Printf("ftmode %s does not serve the admin stats verb\n", ftModeName)
+		return
+	}
+	st, err := statser.StatsMN(mn)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -15,6 +15,14 @@
 // Every daemon and client must be started with the same -peers list
 // and geometry flags so they construct identical layouts.
 //
+// -ftmode selects the fault-tolerance mode. The default, "aceso", runs
+// the full hybrid scheme above. "fusee-replication" and "swarm-inplace"
+// serve the same verbs with replication-based backup instead: those
+// daemons run no checkpoint/erasure machinery and no master — their
+// handlers are installed at open — but still answer the admin verbs
+// (kill) and export /metrics. Every daemon and client must agree on
+// -ftmode, like the geometry flags.
+//
 // The daemon is also the deployment surface for fault injection: the
 // core RPC dispatch answers the admin verbs, so any client can crash a
 // node (acesocli `kill <mn>`) or install probabilistic drop/delay/reset
@@ -35,6 +43,8 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	// Link every fault-tolerance mode into the -ftmode registry.
+	_ "repro/internal/ftmodes"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
@@ -53,6 +63,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof handlers (cpu/heap/mutex/block) on the -metrics-addr mux")
 	)
 	cfg := core.DefaultConfig()
+	flag.StringVar(&cfg.FTMode, "ftmode", core.FTModeAceso, "fault-tolerance mode: "+strings.Join(core.FTModes(), " | "))
 	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN")
 	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size")
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows")
@@ -88,29 +99,49 @@ func main() {
 	// Every process this daemon spawns (server daemons, master) runs
 	// with an instrumented ctx feeding the /metrics verb counters.
 	ipl := obs.Instrument(pl, obs.NewFabricMetrics())
-	cl, err := core.NewCluster(cfg, ipl)
+	ft, err := core.OpenFT(cfg, ipl)
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
 	}
-	// Install the span tracer before any process spawns, so server
-	// daemons and clients all run traced ctxs.
-	ipl.SetTracer(cl.Tracer())
-	cl.StartServers()
-	if *master {
-		cl.StartMaster()
-		log.Printf("master running (checkpoint interval %v)", cfg.CkptInterval)
+	// The aceso mode exposes its core cluster for the daemon-only
+	// wiring (tracer, per-MN server start, master); the replication
+	// modes installed their handlers at open and run no daemons.
+	var cl *core.Cluster
+	if a, ok := ft.(interface{ Core() *core.Cluster }); ok {
+		cl = a.Core()
+	}
+	if cl != nil {
+		// Install the span tracer before any process spawns, so server
+		// daemons and clients all run traced ctxs.
+		ipl.SetTracer(cl.Tracer())
+		cl.StartServers()
+		if *master {
+			cl.StartMaster()
+			log.Printf("master running (checkpoint interval %v)", cfg.CkptInterval)
+		}
+	} else {
+		if *master {
+			log.Printf("-master ignored: ftmode %s runs no master", ft.Mode())
+		}
+		if err := ft.Start(); err != nil {
+			log.Fatalf("start %s: %v", ft.Mode(), err)
+		}
 	}
 	if *metricsAddr != "" {
 		exp := &obs.Exporter{
 			Fabric:      ipl.Metrics(),
 			Transport:   pl.TransportStats,
-			Gauges:      func() map[string]float64 { return serverGauges(cl.Server(*mn).Stats()) },
-			Trace:       cl.Trace(),
-			Tracer:      cl.Tracer(),
-			Ready:       cl.Ready,
+			Ready:       ft.Ready,
 			Version:     version,
 			FabricName:  "tcpnet",
+			FTMode:      ft.Mode(),
 			EnablePprof: *pprofOn,
+		}
+		if cl != nil {
+			exp.Gauges = func() map[string]float64 { return serverGauges(cl.Server(*mn).Stats()) }
+			exp.Trace = cl.Trace()
+			exp.Tracer = cl.Tracer()
+			exp.Ready = cl.Ready
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {
@@ -122,8 +153,12 @@ func main() {
 			log.Printf("pprof on http://%s/debug/pprof/", *metricsAddr)
 		}
 	}
-	log.Printf("mn%d serving on %s (%d MB pool memory, %d stripes)",
-		*mn, pl.Addr(), cl.L.MemBytes()>>20, cfg.Layout.StripeRows)
+	if cl != nil {
+		log.Printf("mn%d serving on %s (%d MB pool memory, %d stripes)",
+			*mn, pl.Addr(), cl.L.MemBytes()>>20, cfg.Layout.StripeRows)
+	} else {
+		log.Printf("mn%d serving on %s (ftmode %s)", *mn, pl.Addr(), ft.Mode())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

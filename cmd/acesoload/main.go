@@ -12,6 +12,10 @@
 // the admin RPC), so the degraded-mode flag and tail-latency impact of
 // a failure show up in the live report and in the exit artifacts
 // (results/sloload.csv + BENCH_sloperf.json).
+//
+// -ftmode must match the daemons': the loader drives the mode-generic
+// client surface, so the same flags measure Aceso, FUSEE-style
+// replication or SWARM-style in-place replication.
 package main
 
 import (
@@ -29,6 +33,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ftmode"
+	// Link every fault-tolerance mode into the -ftmode registry.
+	_ "repro/internal/ftmodes"
 	"repro/internal/obs"
 	"repro/internal/rdma"
 	"repro/internal/rdma/tcpnet"
@@ -85,6 +92,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (aceso_slo_*), /debug/optrace etc. on this address during the run")
 	)
 	cfg := core.DefaultConfig()
+	flag.StringVar(&cfg.FTMode, "ftmode", core.FTModeAceso, "fault-tolerance mode (must match the daemons): "+strings.Join(core.FTModes(), " | "))
 	flag.Uint64Var(&cfg.Layout.IndexBytes, "index-bytes", cfg.Layout.IndexBytes, "index area bytes per MN (must match the daemons)")
 	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size (must match the daemons)")
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows (must match the daemons)")
@@ -101,11 +109,17 @@ func main() {
 
 	pl := tcpnet.New(addrs, 0, false)
 	ipl := obs.Instrument(pl, obs.NewFabricMetrics())
-	cl, err := core.NewCluster(cfg, ipl)
+	ft, err := core.OpenFT(cfg, ipl)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ipl.SetTracer(cl.Tracer())
+	// Aceso-only instrumentation (span tracer, trace ring) hangs off
+	// the core cluster; the replication modes run without it.
+	var cl *core.Cluster
+	if a, ok := ft.(interface{ Core() *core.Cluster }); ok {
+		cl = a.Core()
+		ipl.SetTracer(cl.Tracer())
+	}
 
 	slo := obs.NewSLOTracker(obs.SLOTarget{P99: *sloP99, Budget: *sloBudget})
 
@@ -113,10 +127,13 @@ func main() {
 		exp := &obs.Exporter{
 			Fabric:     ipl.Metrics(),
 			Transport:  pl.TransportStats,
-			Trace:      cl.Trace(),
-			Tracer:     cl.Tracer(),
 			SLO:        slo,
 			FabricName: "tcpnet",
+			FTMode:     ft.Mode(),
+		}
+		if cl != nil {
+			exp.Trace = cl.Trace()
+			exp.Tracer = cl.Tracer()
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {
@@ -164,7 +181,7 @@ func main() {
 
 	// Preload the shared keyspace from one client.
 	preStart := time.Now()
-	runClient(ipl, cl, func(c *core.Client) {
+	runClient(ipl, ft, func(c ftmode.Client) {
 		for i := uint64(0); i < *keys; i++ {
 			k := workload.KeyName(i)
 			if err := c.Insert(k, workload.Value(k, *kvSize)); err != nil {
@@ -224,8 +241,13 @@ func main() {
 				return
 			case <-time.After(*killAfter):
 			}
-			runClient(ipl, cl, func(c *core.Client) {
-				if err := c.KillMN(*killMN); err != nil {
+			runClient(ipl, ft, func(c ftmode.Client) {
+				killer, ok := c.(interface{ KillMN(mn int) error })
+				if !ok {
+					log.Printf("kill mn%d: ftmode %s client has no admin kill", *killMN, ft.Mode())
+					return
+				}
+				if err := killer.KillMN(*killMN); err != nil {
 					log.Printf("kill mn%d: %v", *killMN, err)
 				} else {
 					fmt.Printf("[%6.1fs] injected fail-stop of mn%d\n", time.Since(start).Seconds(), *killMN)
@@ -238,7 +260,7 @@ func main() {
 		g := gens[i]
 		wg.Add(1)
 		cn := ipl.AddComputeNode()
-		cl.SpawnClient(cn, fmt.Sprintf("load%d", i), func(c *core.Client) {
+		ft.SpawnClient(cn, fmt.Sprintf("load%d", i), func(c ftmode.Client) {
 			defer wg.Done()
 			local := stats.NewHistogram()
 			for n := 0; n < *ops; n++ {
@@ -285,7 +307,7 @@ func main() {
 	rowsMu.Lock()
 	writeCSV(filepath.Join(*outDir, "sloload.csv"), rows)
 	rowsMu.Unlock()
-	writeSummary("BENCH_sloperf.json", slo, hist, total, elapsed, *killMN)
+	writeSummary("BENCH_sloperf.json", ft.Mode(), slo, hist, total, elapsed, *killMN)
 	pl.Close()
 }
 
@@ -327,7 +349,7 @@ func writeCSV(path string, rows []windowRow) {
 	fmt.Printf("wrote %s (%d windows)\n", path, len(rows))
 }
 
-func writeSummary(path string, slo *obs.SLOTracker, hist *stats.Histogram, total uint64, elapsed time.Duration, killMN int) {
+func writeSummary(path, ftm string, slo *obs.SLOTracker, hist *stats.Histogram, total uint64, elapsed time.Duration, killMN int) {
 	degWin, totWin := slo.DegradedRotations()
 	type classSum struct {
 		Ops      uint64  `json:"ops"`
@@ -352,6 +374,7 @@ func writeSummary(path string, slo *obs.SLOTracker, hist *stats.Histogram, total
 	out := map[string]any{
 		"experiment":       "sloperf",
 		"fabric":           "tcpnet",
+		"ftmode":           ftm,
 		"ops":              total,
 		"elapsed_s":        elapsed.Seconds(),
 		"kops_per_s":       float64(total) / elapsed.Seconds() / 1e3,
@@ -376,11 +399,11 @@ func writeSummary(path string, slo *obs.SLOTracker, hist *stats.Histogram, total
 }
 
 // runClient runs fn synchronously on a fresh compute node.
-func runClient(pl rdma.Platform, cl *core.Cluster, fn func(*core.Client)) {
+func runClient(pl rdma.Platform, ft ftmode.Cluster, fn func(ftmode.Client)) {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	cn := pl.AddComputeNode()
-	cl.SpawnClient(cn, "loader", func(c *core.Client) {
+	ft.SpawnClient(cn, "loader", func(c ftmode.Client) {
 		defer wg.Done()
 		fn(c)
 	})

@@ -33,18 +33,7 @@ func main() {
 	cfg.Layout.PoolBlocks = 16
 	cfg.CkptInterval = 50 * time.Millisecond
 
-	var (
-		cluster *aceso.Cluster
-		err     error
-	)
-	switch *fabric {
-	case "sim":
-		cluster, err = aceso.NewSimCluster(cfg)
-	case "tcp":
-		cluster, err = aceso.NewTCPCluster(cfg)
-	default:
-		log.Fatalf("unknown -fabric %q (want sim or tcp)", *fabric)
-	}
+	cluster, err := aceso.Open(cfg, aceso.WithFabric(*fabric))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 	cfg.Layout.StripeRows = 16
 	cfg.Layout.PoolBlocks = 12
 
-	cluster, err := aceso.NewSimCluster(cfg)
+	cluster, err := aceso.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

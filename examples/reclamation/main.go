@@ -23,7 +23,7 @@ func main() {
 	cfg.Layout.PoolBlocks = 10
 	cfg.BitmapFlushOps = 8
 
-	cluster, err := aceso.NewSimCluster(cfg)
+	cluster, err := aceso.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

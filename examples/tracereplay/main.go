@@ -58,7 +58,7 @@ func main() {
 	cfg.Layout.BlockSize = 256 << 10
 	cfg.Layout.StripeRows = 64
 	cfg.Layout.PoolBlocks = 24
-	cluster, err := aceso.NewSimCluster(cfg)
+	cluster, err := aceso.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftmode"
+	// Link every fault-tolerance mode into the registry the experiment
+	// sweeps over.
+	_ "repro/internal/ftmodes"
+	"repro/internal/layout"
+	"repro/internal/rdma"
+	"repro/internal/rdma/simnet"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ftmodes", "Fault-tolerance modes: one workload, one mid-run MN fail-stop", runFTModes)
+}
+
+// ftRun is the mode-generic runner: any registered fault-tolerance
+// mode behind the same spawn surface as the Aceso and FUSEE runners.
+type ftRun struct {
+	pl  *simnet.Platform
+	ft  ftmode.Cluster
+	cns []rdma.NodeID
+}
+
+func newFTRun(o Options, cfg core.Config) (*ftRun, error) {
+	pl := simnet.New(simnet.DefaultConfig())
+	ft, err := core.OpenFT(cfg, pl)
+	if err != nil {
+		pl.Shutdown()
+		return nil, err
+	}
+	if err := ft.Start(); err != nil {
+		pl.Shutdown()
+		return nil, err
+	}
+	r := &ftRun{pl: pl, ft: ft}
+	for i := 0; i < o.CNs; i++ {
+		r.cns = append(r.cns, pl.AddComputeNode())
+	}
+	return r, nil
+}
+
+func (r *ftRun) platform() *simnet.Platform { return r.pl }
+func (r *ftRun) shutdown()                  { r.pl.Shutdown() }
+
+func (r *ftRun) spawn(i int, name string, fn func(kvClient)) {
+	cn := r.cns[i%len(r.cns)]
+	r.ft.SpawnClient(cn, name, func(c ftmode.Client) { fn(c) })
+}
+
+// ftModesConfig sizes one shared core config per mode. The replication
+// modes store Replicas full copies instead of parity, so their block
+// area gets Replicas× the stripe rows and the index area Replicas× the
+// bytes (ConfigFromCore splits it into Replicas hosted partitions,
+// keeping the per-partition index comparable to Aceso's per-MN index).
+func ftModesConfig(o Options, mode string, totalKeys int) core.Config {
+	// 128 KB blocks keep the footprint comparison meaningful at bench
+	// scale (with 2 MB blocks each client's open blocks dwarf the
+	// payload), matching the recovery experiments' scaled-down loads.
+	cfg := acesoConfig(o, totalKeys, func(cfg *core.Config) {
+		cfg.Layout.BlockSize = 128 << 10
+	})
+	cfg.FTMode = mode
+	if mode != core.FTModeAceso {
+		r := cfg.ReplicaCount()
+		cfg.Layout.StripeRows *= r
+		cfg.Layout.IndexBytes *= uint64(r)
+	}
+	return cfg
+}
+
+// runPhaseTolerant is runPhase's post-failure variant: operation errors
+// are counted instead of aborting the phase (right after a fail-stop a
+// client can observe transient errors while it fails over or the master
+// republishes the view), and onStep runs after every virtual
+// millisecond so the caller can watch recovery progress concurrently
+// with the measured load.
+func runPhaseTolerant(r runner, gens []workload.Generator, ops, kvSize int, deadline time.Duration, onStep func()) (*measured, error) {
+	m := &measured{perKind: make(map[workload.Kind]*stats.Histogram), all: stats.NewHistogram()}
+	done := 0
+	for i, g := range gens {
+		i, g := i, g
+		r.spawn(i, fmt.Sprintf("ft-cli%d", i), func(c kvClient) {
+			ctxNow := func() time.Duration { return r.platform().Engine().Now() }
+			var cas0, reads0, writes0 uint64
+			counter, hasCounters := c.(interface {
+				Counters() (uint64, uint64, uint64)
+			})
+			if hasCounters {
+				cas0, reads0, writes0 = counter.Counters()
+			}
+			cliStart := ctxNow()
+			for n := 0; n < ops; n++ {
+				op := g.Next()
+				t0 := ctxNow()
+				err := execOp(c, op, kvSize)
+				lat := ctxNow() - t0
+				switch {
+				case err == nil:
+				case errors.Is(err, core.ErrNotFound):
+					m.notFound++
+				default:
+					m.errs++
+					continue
+				}
+				h, ok := m.perKind[op.Kind]
+				if !ok {
+					h = stats.NewHistogram()
+					m.perKind[op.Kind] = h
+				}
+				h.Record(lat)
+				m.all.Record(lat)
+				m.ops++
+			}
+			if dur := ctxNow() - cliStart; dur > 0 {
+				m.sumRate += float64(ops) / dur.Seconds()
+			}
+			if fl, ok := c.(interface{ FlushBitmaps() }); ok {
+				fl.FlushBitmaps()
+			}
+			if hasCounters {
+				cas1, reads1, writes1 := counter.Counters()
+				m.cas += cas1 - cas0
+				m.reads += reads1 - reads0
+				m.writes += writes1 - writes0
+			}
+			done++
+		})
+	}
+	eng := r.platform().Engine()
+	start := eng.Now()
+	limit := start + deadline
+	for done < len(gens) && eng.Now() < limit {
+		eng.Run(eng.Now() + time.Millisecond)
+		if onStep != nil {
+			onStep()
+		}
+	}
+	if done < len(gens) {
+		return nil, fmt.Errorf("bench: tolerant phase stalled (%d/%d clients finished)", done, len(gens))
+	}
+	m.window = eng.Now() - start
+	return m, nil
+}
+
+// ftModeRow is one mode's machine-readable summary entry.
+type ftModeRow struct {
+	Mode        string  `json:"mode"`
+	TputMops    float64 `json:"tput_mops"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	PostTput    float64 `json:"post_fail_tput_mops"`
+	PostP99us   float64 `json:"post_fail_p99_us"`
+	PostErrs    uint64  `json:"post_fail_errors"`
+	VerbsPerOp  float64 `json:"verbs_per_op"`
+	CASPerOp    float64 `json:"cas_per_op"`
+	SpaceAmp    float64 `json:"space_amp"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+	ReadFailovr bool    `json:"read_failover"`
+}
+
+// runFTModes runs the identical workload — preload, YCSB-A measured
+// phase, a fail-stop of the same MN at the same point, and a second
+// measured phase — against every registered fault-tolerance mode, and
+// tabulates throughput, tail latency, verb cost, space amplification
+// and recovery time side by side.
+func runFTModes(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "ftmodes",
+		Title: "Fault-tolerance modes under YCSB-A with a mid-run MN fail-stop",
+	}
+	n := macroKeys(o)
+	const victim = 1
+	logicalBytes := float64(n) * float64(layout.KVClassSize(len(workload.KeyName(0)), o.KVSize))
+	var rows []ftModeRow
+	for _, mode := range core.FTModes() {
+		r, err := newFTRun(o, ftModesConfig(o, mode, int(n)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode, err)
+		}
+		if err := preloadKeys(r, o.Clients, n, o.KVSize); err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("%s preload: %w", mode, err)
+		}
+
+		// Healthy measured phase: identical generators in every mode.
+		gens := mixGens(workload.YCSBA, o.Clients, n)
+		m1, err := runPhase(r, gens, o.OpsPerClient/4, o.OpsPerClient, o.KVSize, 10*time.Minute)
+		if err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("%s healthy phase: %w", mode, err)
+		}
+
+		// The same mid-run fail-stop, at the same workload point.
+		eng := r.pl.Engine()
+		tFail := eng.Now()
+		r.ft.FailMN(victim)
+
+		// Post-failure phase: the generators continue; recovery (if the
+		// mode runs one) overlaps the measured load, watched per step.
+		recoveryMs := -1.0
+		watch := func() {
+			if recoveryMs >= 0 || !r.ft.Caps().TieredRecovery {
+				return
+			}
+			if _, _, blocksReady := r.ft.MNState(victim); blocksReady {
+				recoveryMs = ms(eng.Now() - tFail)
+			}
+		}
+		m2, err := runPhaseTolerant(r, gens, o.OpsPerClient, o.KVSize, 10*time.Minute, watch)
+		if err != nil {
+			r.shutdown()
+			return nil, fmt.Errorf("%s post-failure phase: %w", mode, err)
+		}
+		if r.ft.Caps().TieredRecovery && recoveryMs < 0 {
+			// The load finished before the rebuild; keep stepping until
+			// tier-3 completes so the column is filled.
+			limit := eng.Now() + 10*time.Minute
+			for recoveryMs < 0 && eng.Now() < limit {
+				eng.Run(eng.Now() + time.Millisecond)
+				watch()
+			}
+			if recoveryMs < 0 {
+				r.shutdown()
+				return nil, fmt.Errorf("%s: recovery did not finish in virtual time", mode)
+			}
+		}
+		if !r.ft.Caps().TieredRecovery {
+			// Replica failover: service continues with no rebuild, so
+			// there is no recovery window to report.
+			recoveryMs = 0
+		}
+
+		u := r.ft.Usage()
+		row := ftModeRow{
+			Mode:        mode,
+			TputMops:    m1.mops(),
+			P50us:       us(m1.all.Percentile(0.50)),
+			P99us:       us(m1.all.Percentile(0.99)),
+			PostTput:    m2.mops(),
+			PostP99us:   us(m2.all.Percentile(0.99)),
+			PostErrs:    m2.errs,
+			VerbsPerOp:  float64(m1.cas+m1.reads+m1.writes) / float64(m1.ops),
+			CASPerOp:    m1.casPerOp(),
+			SpaceAmp:    float64(u.TotalBytes) / logicalBytes,
+			RecoveryMs:  recoveryMs,
+			ReadFailovr: r.ft.Caps().ReadFailover,
+		}
+		rows = append(rows, row)
+		s := &stats.Series{Name: mode}
+		s.Add("tput_mops", row.TputMops)
+		s.Add("p50_us", row.P50us)
+		s.Add("p99_us", row.P99us)
+		s.Add("post_tput_mops", row.PostTput)
+		s.Add("post_p99_us", row.PostP99us)
+		s.Add("verbs_per_op", row.VerbsPerOp)
+		s.Add("cas_per_op", row.CASPerOp)
+		s.Add("space_amp", row.SpaceAmp)
+		s.Add("recovery_ms", row.RecoveryMs)
+		res.Series = append(res.Series, s)
+		r.shutdown()
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("YCSB-A over %d keys; fail-stop of mn%d between the two measured halves", n, victim),
+		"recovery_ms is time to tier-3 (blocks rebuilt); 0 = replica failover, nothing to rebuild",
+		fmt.Sprintf("space_amp = total block bytes / %d logical class bytes", int64(logicalBytes)))
+	res.Summary = map[string]any{"modes": rows, "keys": n, "victim": victim}
+	return res, nil
+}

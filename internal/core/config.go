@@ -51,6 +51,16 @@ func (r CPURates) codeRate(code string) float64 {
 type Config struct {
 	// Layout fixes the group geometry and per-MN memory layout.
 	Layout layout.Config
+	// FTMode selects the fault-tolerance mode: "aceso" (the default,
+	// also chosen by ""), "fusee-replication" or "swarm-inplace". All
+	// modes share this Config; replication modes derive their own
+	// geometry from Layout (see their configFromCore).
+	FTMode string
+	// Replicas is the replication factor used by replication-based
+	// modes (index replicas and KV copies alike); 0 means 3, the
+	// paper's baseline. The aceso mode ignores it — its redundancy
+	// comes from Layout.ParityShards.
+	Replicas int
 	// Code selects the erasure code: "xor" (default, the paper's
 	// choice) or "rs" (the Table 2 comparator).
 	Code string
@@ -160,6 +170,24 @@ func DefaultConfig() Config {
 		ECWorkers:        2,
 		Rates:            DefaultCPURates(),
 	}
+}
+
+// FTModeName resolves the effective fault-tolerance mode name ("" =
+// FTModeAceso).
+func (c *Config) FTModeName() string {
+	if c.FTMode == "" {
+		return FTModeAceso
+	}
+	return c.FTMode
+}
+
+// ReplicaCount resolves the effective replication factor for
+// replication-based modes (0 = 3, the paper's baseline).
+func (c *Config) ReplicaCount() int {
+	if c.Replicas <= 0 {
+		return 3
+	}
+	return c.Replicas
 }
 
 // newCode instantiates the configured erasure code for k data shards.

@@ -1,0 +1,421 @@
+package ftmodes
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftmode"
+	"repro/internal/rdma"
+	"repro/internal/rdma/simnet"
+)
+
+// allModes is the conformance table: every registered mode runs every
+// cross-mode test, with capability-gated skips for unimplemented tiers.
+var allModes = []string{core.FTModeAceso, core.FTModeFusee, core.FTModeSwarm}
+
+// crossConfig is one shared configuration all modes open from, so the
+// suite exercises the promise that switching Config.FTMode is the only
+// change a caller makes. Sizes follow core's test config; IndexBytes is
+// divisible by the replica count so the replication modes' partition
+// split is exact.
+func crossConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Layout.IndexBytes = 96 << 10
+	cfg.Layout.BlockSize = 16 << 10
+	cfg.Layout.StripeRows = 12
+	cfg.Layout.PoolBlocks = 10
+	cfg.CkptInterval = 20 * time.Millisecond
+	cfg.BitmapFlushOps = 8
+	return cfg
+}
+
+type harness struct {
+	pl *simnet.Platform
+	ft ftmode.Cluster
+}
+
+func openMode(t *testing.T, mode string) *harness {
+	t.Helper()
+	cfg := crossConfig()
+	cfg.FTMode = mode
+	pl := simnet.New(simnet.DefaultConfig())
+	ft, err := core.OpenFT(cfg, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pl.Shutdown)
+	return &harness{pl: pl, ft: ft}
+}
+
+// runClients spawns each fn as a fresh client process (cold cache) and
+// advances virtual time until all complete or the virtual deadline
+// passes.
+func (h *harness) runClients(t *testing.T, deadline time.Duration, fns ...func(ftmode.Client)) {
+	t.Helper()
+	done := 0
+	for i, fn := range fns {
+		fn := fn
+		cn := h.pl.AddComputeNode()
+		h.ft.SpawnClient(cn, fmt.Sprintf("client%d", i), func(c ftmode.Client) {
+			fn(c)
+			c.Close()
+			done++
+		})
+	}
+	limit := h.pl.Engine().Now() + deadline
+	for done < len(fns) && h.pl.Engine().Now() < limit {
+		h.pl.Run(h.pl.Engine().Now() + time.Millisecond)
+	}
+	if done < len(fns) {
+		t.Fatalf("only %d/%d clients finished before virtual deadline", done, len(fns))
+	}
+}
+
+func (h *harness) run(d time.Duration) {
+	h.pl.Run(h.pl.Engine().Now() + d)
+}
+
+func forEachMode(t *testing.T, fn func(t *testing.T, h *harness)) {
+	for _, m := range allModes {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			fn(t, openMode(t, m))
+		})
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i, gen int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("v%03d-%06d.", gen, i)), 10)
+}
+
+// TestLinkedModes pins the registry contents with this package
+// imported: all three modes, and nothing registered twice.
+func TestLinkedModes(t *testing.T) {
+	got := Linked()
+	want := []string{core.FTModeAceso, core.FTModeFusee, core.FTModeSwarm}
+	if len(got) != len(want) {
+		t.Fatalf("Linked() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Linked() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOpenFTUnknownMode(t *testing.T) {
+	cfg := crossConfig()
+	cfg.FTMode = "raid5"
+	pl := simnet.New(simnet.DefaultConfig())
+	defer pl.Shutdown()
+	if _, err := core.OpenFT(cfg, pl); err == nil {
+		t.Fatal("OpenFT accepted unknown mode")
+	} else if !strings.Contains(err.Error(), "raid5") {
+		t.Fatalf("unknown-mode error %q does not name the mode", err)
+	}
+}
+
+// TestCrossModeCRUD runs the same insert/search/update/delete sequence
+// against every mode, including the shared error taxonomy (core
+// sentinel errors under errors.Is) and a cold-cache verification pass
+// from a second client.
+func TestCrossModeCRUD(t *testing.T) {
+	forEachMode(t, func(t *testing.T, h *harness) {
+		const n = 160
+		h.runClients(t, 30*time.Second, func(c ftmode.Client) {
+			for i := 0; i < n; i++ {
+				if err := c.Insert(key(i), val(i, 0)); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+			for i := 0; i < n; i++ {
+				got, err := c.Search(key(i))
+				if err != nil || !bytes.Equal(got, val(i, 0)) {
+					t.Errorf("search %d: err %v", i, err)
+					return
+				}
+			}
+			if _, err := c.Search([]byte("nonexistent")); !errors.Is(err, core.ErrNotFound) {
+				t.Errorf("missing key: err = %v, want core.ErrNotFound", err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if err := c.Update(key(i), val(i, 1)); err != nil {
+					t.Errorf("update %d: %v", i, err)
+					return
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				if err := c.Delete(key(i)); err != nil {
+					t.Errorf("delete %d: %v", i, err)
+					return
+				}
+			}
+		})
+		// Cold cache: a fresh client must see the same end state.
+		h.runClients(t, 30*time.Second, func(c ftmode.Client) {
+			for i := 0; i < n; i++ {
+				got, err := c.Search(key(i))
+				if i%2 == 0 {
+					if !errors.Is(err, core.ErrNotFound) {
+						t.Errorf("deleted key %d: got %q, err %v", i, got, err)
+						return
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(got, val(i, 1)) {
+					t.Errorf("surviving key %d: err %v", i, err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// TestCrossModeCounters checks the uniform verbs accounting surface:
+// every mode reports nonzero read and write verbs after a workload, so
+// bench verbs-per-op rows are meaningful for all of them.
+func TestCrossModeCounters(t *testing.T) {
+	forEachMode(t, func(t *testing.T, h *harness) {
+		h.runClients(t, 30*time.Second, func(c ftmode.Client) {
+			for i := 0; i < 40; i++ {
+				if err := c.Insert(key(i), val(i, 0)); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := c.Search(key(i)); err != nil {
+					t.Errorf("search %d: %v", i, err)
+					return
+				}
+			}
+			cas, reads, writes := c.Counters()
+			if reads == 0 || writes == 0 {
+				t.Errorf("Counters() = cas %d reads %d writes %d; want nonzero reads and writes", cas, reads, writes)
+			}
+		})
+	})
+}
+
+// TestCrossModeChaosStress runs concurrent writers and a reader under
+// injected delay chaos on every MN, for every mode. Delay-only chaos is
+// deliberate: on simnet a chaos-dropped frame surfaces as
+// rdma.ErrNodeFailed, indistinguishable from a real fail-stop, so the
+// replication modes' client-observed failure view would (correctly, by
+// FUSEE's timeout semantics) mark a healthy-but-lossy node failed.
+// Drop/reset chaos is exercised by the fabric and per-mode suites.
+func TestCrossModeChaosStress(t *testing.T) {
+	forEachMode(t, func(t *testing.T, h *harness) {
+		var fi rdma.FaultInjector = h.pl
+		for mn := 0; mn < h.ft.NumMNs(); mn++ {
+			fi.SetChaos(rdma.NodeID(mn), rdma.ChaosConfig{
+				Seed:      int64(1000 + mn),
+				DelayProb: 0.10,
+				MaxDelay:  100 * time.Microsecond,
+			})
+		}
+		const writers = 3
+		const perWriter = 40
+		fns := make([]func(ftmode.Client), 0, writers+1)
+		for w := 0; w < writers; w++ {
+			w := w
+			fns = append(fns, func(c ftmode.Client) {
+				base := w * perWriter
+				for i := 0; i < perWriter; i++ {
+					if err := c.Insert(key(base+i), val(base+i, 0)); err != nil {
+						t.Errorf("writer %d insert %d: %v", w, i, err)
+						return
+					}
+				}
+				for i := 0; i < perWriter; i++ {
+					if err := c.Update(key(base+i), val(base+i, 1)); err != nil {
+						t.Errorf("writer %d update %d: %v", w, i, err)
+						return
+					}
+				}
+			})
+		}
+		fns = append(fns, func(c ftmode.Client) {
+			for g := 0; g < 2*perWriter; g++ {
+				i := g % (writers * perWriter)
+				if _, err := c.Search(key(i)); err != nil && !errors.Is(err, core.ErrNotFound) {
+					t.Errorf("reader key %d: %v", i, err)
+					return
+				}
+			}
+		})
+		h.runClients(t, 120*time.Second, fns...)
+		for mn := 0; mn < h.ft.NumMNs(); mn++ {
+			fi.SetChaos(rdma.NodeID(mn), rdma.ChaosConfig{}) // clear
+		}
+		// Quiet verification from a cold client.
+		h.runClients(t, 60*time.Second, func(c ftmode.Client) {
+			for i := 0; i < writers*perWriter; i++ {
+				got, err := c.Search(key(i))
+				if err != nil || !bytes.Equal(got, val(i, 1)) {
+					t.Errorf("post-chaos search %d: err %v", i, err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// TestCrossModeFailStop injects the same mid-run MN fail-stop in every
+// mode, then checks each recovery tier the mode claims via Caps — and
+// skips, explicitly, the tiers it does not.
+func TestCrossModeFailStop(t *testing.T) {
+	forEachMode(t, func(t *testing.T, h *harness) {
+		const n = 120
+		h.runClients(t, 60*time.Second, func(c ftmode.Client) {
+			for i := 0; i < n; i++ {
+				if err := c.Insert(key(i), val(i, 0)); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+		})
+		caps := h.ft.Caps()
+		const victim = 2
+		h.ft.FailMN(victim)
+
+		t.Run("read-failover", func(t *testing.T) {
+			if !caps.ReadFailover {
+				t.Skipf("mode %s does not implement replica read failover (Caps.ReadFailover=false)", h.ft.Mode())
+			}
+			// No rebuild: reads and writes must succeed immediately via
+			// surviving replicas.
+			h.runClients(t, 120*time.Second, func(c ftmode.Client) {
+				for i := 0; i < n; i++ {
+					got, err := c.Search(key(i))
+					if err != nil || !bytes.Equal(got, val(i, 0)) {
+						t.Errorf("post-crash search %d: err %v", i, err)
+						return
+					}
+				}
+				for i := 0; i < n; i++ {
+					if err := c.Update(key(i), val(i, 1)); err != nil {
+						t.Errorf("post-crash update %d: %v", i, err)
+						return
+					}
+				}
+			})
+		})
+
+		t.Run("tiered-recovery", func(t *testing.T) {
+			if !caps.TieredRecovery {
+				t.Skipf("mode %s does not implement tiered recovery onto spares (Caps.TieredRecovery=false)", h.ft.Mode())
+			}
+			if failed, _, _ := h.ft.MNState(victim); !failed {
+				t.Fatalf("MNState(%d) does not report the fail-stop", victim)
+			}
+			recovered := false
+			for i := 0; i < 120000; i++ {
+				h.run(time.Millisecond)
+				if _, indexReady, blocksReady := h.ft.MNState(victim); indexReady && blocksReady {
+					recovered = true
+					break
+				}
+			}
+			if !recovered {
+				t.Fatal("virtual deadline waiting for tiered recovery")
+			}
+		})
+
+		// Whatever the tier, the end state must be readable.
+		gen := 0
+		if caps.ReadFailover {
+			gen = 1 // the failover subtest rewrote every key
+		}
+		h.runClients(t, 120*time.Second, func(c ftmode.Client) {
+			for i := 0; i < n; i++ {
+				got, err := c.Search(key(i))
+				if err != nil || !bytes.Equal(got, val(i, gen)) {
+					t.Errorf("post-recovery search %d: err %v", i, err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// TestCrossModeUsage checks the space-accounting surface: every mode
+// reports a nonzero footprint after a workload, and modes claiming
+// SpaceBreakdown fill the valid/redundant split.
+func TestCrossModeUsage(t *testing.T) {
+	forEachMode(t, func(t *testing.T, h *harness) {
+		h.runClients(t, 30*time.Second, func(c ftmode.Client) {
+			for i := 0; i < 100; i++ {
+				if err := c.Insert(key(i), val(i, 0)); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+		})
+		h.run(100 * time.Millisecond)
+		u := h.ft.Usage()
+		if u.TotalBytes == 0 {
+			t.Errorf("Usage().TotalBytes = 0 after 100 inserts")
+		}
+		if h.ft.Caps().SpaceBreakdown {
+			if u.ValidBytes == 0 {
+				t.Errorf("mode claims SpaceBreakdown but ValidBytes = 0")
+			}
+		} else if u.ValidBytes != 0 || u.RedundantBytes != 0 {
+			t.Errorf("mode without SpaceBreakdown fills the split: %+v", u)
+		}
+	})
+}
+
+// TestCrossModeUnalignedIndexSplit pins the replication modes'
+// partition rounding: an IndexBytes that is not divisible into
+// bucket-aligned replica partitions (like the 2 MB default over 3
+// replicas) must still open and serve CRUD — the split is rounded
+// down to a bucket boundary, not allowed to produce unaligned slot
+// CASes in partitions j>0.
+func TestCrossModeUnalignedIndexSplit(t *testing.T) {
+	for _, m := range allModes {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			cfg := crossConfig()
+			cfg.Layout.IndexBytes = 100 << 10 // 102400/3 = 34133: neither 8- nor bucket-aligned
+			cfg.FTMode = m
+			pl := simnet.New(simnet.DefaultConfig())
+			ft, err := core.OpenFT(cfg, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ft.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(pl.Shutdown)
+			h := &harness{pl: pl, ft: ft}
+			h.runClients(t, 10*time.Second, func(c ftmode.Client) {
+				for i := 0; i < 32; i++ {
+					if err := c.Insert(key(i), val(i, 0)); err != nil {
+						t.Errorf("insert %d: %v", i, err)
+						return
+					}
+				}
+				for i := 0; i < 32; i++ {
+					got, err := c.Search(key(i))
+					if err != nil || !bytes.Equal(got, val(i, 0)) {
+						t.Errorf("search %d: %v", i, err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,26 @@
+// Package ftmodes links every fault-tolerance mode implementation into
+// the importing binary. The mode registry (internal/core) is populated
+// by package init side effects, so a binary that wants `-ftmode` to
+// accept all modes blank-imports this package once instead of tracking
+// the mode list itself. The facade (package aceso) and the cmds do
+// exactly that.
+//
+// The package also hosts the cross-mode conformance suite: the same
+// table-driven CRUD, error-taxonomy, chaos-stress and fail-stop tests
+// run against every registered mode, with capability-gated skips
+// (ftmode.Caps) for tiers a mode does not implement.
+package ftmodes
+
+import (
+	"repro/internal/core"
+
+	// Mode registrations (init side effects). The aceso mode registers
+	// from core itself.
+	_ "repro/internal/fusee"
+	_ "repro/internal/swarm"
+)
+
+// Linked returns the names of every mode linked into this binary,
+// sorted. With this package imported it is the full set: aceso,
+// fusee-replication, swarm-inplace.
+func Linked() []string { return core.FTModes() }

@@ -20,16 +20,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/racehash"
 	"repro/internal/rdma"
 )
 
-// Errors.
+// Errors. Each wraps the corresponding core error so callers match on
+// one taxonomy regardless of the fault-tolerance mode
+// (errors.Is(err, core.ErrNotFound) holds for fusee.ErrNotFound).
 var (
-	ErrNotFound         = errors.New("fusee: key not found")
-	ErrNoSpace          = errors.New("fusee: memory pool exhausted")
-	ErrRetriesExhausted = errors.New("fusee: retries exhausted")
+	ErrNotFound         = fmt.Errorf("fusee: %w", core.ErrNotFound)
+	ErrNoSpace          = fmt.Errorf("fusee: %w", core.ErrNoSpace)
+	ErrRetriesExhausted = fmt.Errorf("fusee: %w", core.ErrRetriesExhausted)
 )
 
 const maxOpRetries = 1024
@@ -112,6 +115,13 @@ type Cluster struct {
 	nextCli uint16
 	// Alloc accounting for the memory-distribution experiment.
 	blockOwners [][]uint16
+
+	// viewMu guards the failure view. There is no master: clients
+	// mark MNs failed when a verb returns rdma.ErrNodeFailed (or a
+	// harness calls FailMN directly) and fail over to surviving
+	// replicas.
+	viewMu sync.Mutex
+	failed []bool
 }
 
 // NewCluster creates the baseline's memory nodes and servers.
@@ -122,7 +132,7 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	if cfg.SlotBytes != 8 && cfg.SlotBytes != 16 {
 		return nil, fmt.Errorf("fusee: slot bytes must be 8 or 16")
 	}
-	cl := &Cluster{Cfg: cfg, pl: pl}
+	cl := &Cluster{Cfg: cfg, pl: pl, failed: make([]bool, cfg.NumMNs)}
 	for i := 0; i < cfg.NumMNs; i++ {
 		node := pl.AddMemNode(rdma.MemNodeConfig{MemBytes: cfg.memBytes(), CPUCores: 1})
 		cl.nodes = append(cl.nodes, node)
@@ -136,10 +146,25 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	return cl, nil
 }
 
-const methodAlloc uint8 = 1
+const (
+	methodAlloc uint8 = 1
+	// methodKill is the admin fail-stop verb (wall-clock fabric only;
+	// simulated harnesses call FailMN directly, as in core).
+	methodKill uint8 = 2
+)
 
-// handle serves the single RPC the baseline needs: block allocation.
+// handle serves the baseline's RPCs: block allocation and the admin
+// kill used by the CLI / TCP load harness.
 func (cl *Cluster) handle(mn int, method uint8, req []byte) ([]byte, time.Duration) {
+	if method == methodKill {
+		// Acknowledge before crashing, as core's admin fail does: the
+		// handler runs inside a transport goroutine the fail joins.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cl.FailMN(mn)
+		}()
+		return []byte{0}, time.Microsecond
+	}
 	if method != methodAlloc {
 		return []byte{1}, time.Microsecond
 	}
@@ -168,6 +193,37 @@ func (cl *Cluster) AllocatedBytes() uint64 {
 		total += uint64(n) * cl.Cfg.BlockSize
 	}
 	return total
+}
+
+// FailMN fail-stops logical MN mn: the view marks it dead and the
+// platform drops its memory, so clients fail over to surviving
+// replicas (there is no rebuild — replication keeps the data live).
+func (cl *Cluster) FailMN(mn int) {
+	cl.markFailed(mn)
+	cl.pl.Fail(cl.nodes[mn])
+}
+
+// markFailed records a failure observed by a client (verb returned
+// rdma.ErrNodeFailed) without touching the platform.
+func (cl *Cluster) markFailed(mn int) {
+	cl.viewMu.Lock()
+	cl.failed[mn] = true
+	cl.viewMu.Unlock()
+}
+
+// Failed reports whether MN mn is marked failed.
+func (cl *Cluster) Failed(mn int) bool {
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	return cl.failed[mn]
+}
+
+// MNState reports (failed, indexReady, blocksReady). The baseline has
+// no tiered rebuild: a healthy MN is fully ready, a failed one never
+// recovers (its replicas carry the data).
+func (cl *Cluster) MNState(mn int) (failed, indexReady, blocksReady bool) {
+	f := cl.Failed(mn)
+	return f, !f, !f
 }
 
 // NewClient allocates a client identity.
@@ -240,6 +296,84 @@ func (c *Client) Attach(ctx rdma.Ctx) { c.ctx = ctx }
 // harness accounting such as Figure 1(a)'s CAS-per-request rows.
 func (c *Client) Counters() (cas, reads, writes uint64) {
 	return c.Stats.CASIssued, c.Stats.ReadsIssued, c.Stats.WritesIssued
+}
+
+// Close is a no-op: the baseline batches no client-side state that
+// must be flushed (interface parity with core's Client).
+func (c *Client) Close() {}
+
+// KillMN asks MN mn to fail-stop itself over the admin RPC (the
+// wall-clock fabric's fault-injection surface; simulated harnesses
+// call Cluster.FailMN directly).
+func (c *Client) KillMN(mn int) error {
+	if c.cl.Failed(mn) {
+		return rdma.ErrNodeFailed
+	}
+	resp, err := c.ctx.RPC(c.cl.nodes[mn], methodKill, nil)
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != 0 {
+		return fmt.Errorf("fusee: kill rejected")
+	}
+	return nil
+}
+
+// noteErr records a node failure observed through err and reports
+// whether the caller should fail over (retry on a surviving replica).
+func (c *Client) noteErr(mn int, err error) bool {
+	if errors.Is(err, rdma.ErrNodeFailed) {
+		c.cl.markFailed(mn)
+		return true
+	}
+	return false
+}
+
+// liveReplica returns the first surviving replica index of partition p
+// (the acting primary after failures).
+func (c *Client) liveReplica(p int) (int, bool) {
+	cfg := &c.cl.Cfg
+	for i := 0; i < cfg.Replicas; i++ {
+		if !c.cl.Failed(cfg.replicaMN(p, i)) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// liveReplicas returns the surviving replica indices of partition p in
+// replica order (acting primary first).
+func (c *Client) liveReplicas(p int) []int {
+	cfg := &c.cl.Cfg
+	out := make([]int, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		if !c.cl.Failed(cfg.replicaMN(p, i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// refreshView probes every not-yet-failed MN with a minimal read and
+// marks the dead ones. Used after an ambiguous batched-verb failure
+// (the batch error does not say which node died).
+func (c *Client) refreshView() {
+	var b [8]byte
+	for mn := 0; mn < c.cl.Cfg.NumMNs; mn++ {
+		if c.cl.Failed(mn) {
+			continue
+		}
+		c.Stats.ReadsIssued++
+		c.Stats.BytesRead += 8
+		if err := c.ctx.Read(b[:], rdma.GlobalAddr{Node: c.cl.nodes[mn]}); err != nil {
+			c.noteErr(mn, err)
+		}
+	}
+}
+
+// errAllReplicasFailed reports every replica of a partition dead.
+func errAllReplicasFailed(p int) error {
+	return fmt.Errorf("fusee: all replicas of partition %d failed: %w", p, rdma.ErrNodeFailed)
 }
 
 // slotWord packs a slot: fingerprint in the top byte, 48-bit address
@@ -328,6 +462,7 @@ func (c *Client) readKVAt(packed uint64, size int) (*layout.KV, error) {
 	c.Stats.ReadsIssued++
 	c.Stats.BytesRead += uint64(size)
 	if err := c.ctx.Read(buf, rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: off}); err != nil {
+		c.noteErr(int(mn), err)
 		return nil, err
 	}
 	if buf[0] == 0 {
@@ -349,9 +484,43 @@ func (c *Client) readKVAt(packed uint64, size int) (*layout.KV, error) {
 	c.Stats.ReadsIssued++
 	c.Stats.BytesRead += uint64(real)
 	if err := c.ctx.Read(buf, rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: off}); err != nil {
+		c.noteErr(int(mn), err)
 		return nil, err
 	}
 	return layout.DecodeKV(buf)
+}
+
+// readKVFailover reads the KV a slot word points at; when that copy's
+// MN has failed it chases the surviving replicas' slot words for the
+// same (bucket, slot) position and reads their copies instead. This is
+// the baseline's whole recovery story: any surviving copy serves the
+// data, no rebuild.
+func (c *Client) readKVFailover(p int, bucket uint64, s int, w uint64, size int) (*layout.KV, error) {
+	kv, err := c.readKVAt(slotAddr(w), size)
+	if err == nil || !errors.Is(err, rdma.ErrNodeFailed) {
+		return kv, err
+	}
+	cfg := &c.cl.Cfg
+	for _, ri := range c.liveReplicas(p) {
+		mn := cfg.replicaMN(p, ri)
+		region := cfg.hostedRegion(mn, p)
+		var wb [8]byte
+		c.Stats.ReadsIssued++
+		c.Stats.BytesRead += 8
+		if rerr := c.ctx.Read(wb[:], rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: c.slotOff(region, bucket, s)}); rerr != nil {
+			c.noteErr(mn, rerr)
+			continue
+		}
+		rw := binary.LittleEndian.Uint64(wb[:])
+		if rw == 0 || slotFP(rw) != slotFP(w) {
+			continue
+		}
+		kv, err = c.readKVAt(slotAddr(rw), size)
+		if err == nil {
+			return kv, nil
+		}
+	}
+	return nil, err
 }
 
 // Search returns the value of key, or ErrNotFound. Reads go to the
@@ -371,25 +540,34 @@ func (c *Client) Search(key []byte) ([]byte, error) {
 		}
 	}
 	for attempt := 0; attempt < maxOpRetries; attempt++ {
-		buf1, buf2, err := c.readBucketPair(p, 0, b1, b2)
+		ri, ok := c.liveReplica(p)
+		if !ok {
+			return nil, errAllReplicasFailed(p)
+		}
+		buf1, buf2, err := c.readBucketPair(p, ri, b1, b2)
 		if err != nil {
+			if c.noteErr(c.cl.Cfg.replicaMN(p, ri), err) {
+				continue // fail over to the next surviving replica
+			}
 			return nil, err
 		}
 		for bi, buf := range [][]byte{buf1, buf2} {
 			for _, s := range c.scan(fp, buf) {
 				w := binary.LittleEndian.Uint64(buf[s*c.cl.Cfg.SlotBytes:])
-				kv, err := c.readKVAt(slotAddr(w), c.guessSize(key))
+				bucket := b1
+				if bi == 1 {
+					bucket = b2
+				}
+				kv, err := c.readKVFailover(p, bucket, s, w, c.guessSize(key))
 				if err != nil || kv == nil {
 					continue
 				}
 				if !bytes.Equal(kv.Key, key) {
 					continue
 				}
-				bucket := b1
-				if bi == 1 {
-					bucket = b2
+				if ri == 0 {
+					c.fillCache(key, bucket, s, w, layout.KVClassSize(len(kv.Key), len(kv.Val)))
 				}
-				c.fillCache(key, bucket, s, w, layout.KVClassSize(len(kv.Key), len(kv.Val)))
 				if kv.Tombstone {
 					return nil, ErrNotFound
 				}
@@ -409,6 +587,12 @@ func (c *Client) Search(key []byte) ([]byte, error) {
 func (c *Client) cachedRead(key []byte, ent *cacheEnt, p int) ([]byte, error) {
 	cfg := &c.cl.Cfg
 	mn := cfg.replicaMN(p, 0)
+	kmn, koff := layout.UnpackAddr(slotAddr(ent.vals[0]))
+	if c.cl.Failed(mn) || c.cl.Failed(int(kmn)) {
+		// The cache validates against the primary; after a failure the
+		// caller takes the search path, which fails over.
+		return nil, errors.New("fusee: stale cache")
+	}
 	region := cfg.hostedRegion(mn, p)
 	node := c.cl.nodes[mn]
 	h := racehash.Hash(key)
@@ -416,7 +600,6 @@ func (c *Client) cachedRead(key []byte, ent *cacheEnt, p int) ([]byte, error) {
 	kvBuf := make([]byte, ent.len)
 	bkt1 := make([]byte, cfg.bucketBytes())
 	bkt2 := make([]byte, cfg.bucketBytes())
-	kmn, koff := layout.UnpackAddr(slotAddr(ent.vals[0]))
 	ops := []rdma.Op{
 		{Kind: rdma.OpRead, Addr: rdma.GlobalAddr{Node: c.cl.nodes[kmn], Off: koff}, Buf: kvBuf},
 		{Kind: rdma.OpRead, Addr: rdma.GlobalAddr{Node: node, Off: c.slotOff(region, b1, 0)}, Buf: bkt1},
@@ -497,6 +680,14 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 	r := cfg.Replicas
 
 	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		// The acting primary is the first surviving replica; after
+		// failures the remaining replicas keep serializing writes.
+		live := c.liveReplicas(p)
+		if len(live) == 0 {
+			return errAllReplicasFailed(p)
+		}
+		acting := live[0]
+
 		// Locate the slot and its per-replica old words, via the cache
 		// when it holds the full replica set (warm after this client's
 		// own commit), else by reading buckets and replica slots.
@@ -505,30 +696,34 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 		var slotIdx int
 		found := false
 		located := false
-		if ent, ok := c.cache[string(key)]; ok && cfg.CacheValues && ent.haveAll {
+		if ent, ok := c.cache[string(key)]; ok && cfg.CacheValues && ent.haveAll && acting == 0 {
 			copy(oldWords, ent.vals)
 			bucket, slotIdx = ent.bucket, ent.slotIdx
 			found, located = true, true
 		}
 		if !located {
-			buf1, buf2, err := c.readBucketPair(p, 0, b1, b2)
+			buf1, buf2, err := c.readBucketPair(p, acting, b1, b2)
 			if err != nil {
+				if c.noteErr(cfg.replicaMN(p, acting), err) {
+					continue // fail over to the next surviving replica
+				}
 				return err
 			}
 			for bi, buf := range [][]byte{buf1, buf2} {
 				for _, s := range c.scan(fp, buf) {
 					w := binary.LittleEndian.Uint64(buf[s*cfg.SlotBytes:])
-					kv, err := c.readKVAt(slotAddr(w), c.guessSize(key))
+					bkt := b1
+					if bi == 1 {
+						bkt = b2
+					}
+					kv, err := c.readKVFailover(p, bkt, s, w, c.guessSize(key))
 					if err != nil || kv == nil || !bytes.Equal(kv.Key, key) {
 						continue
 					}
 					found = true
-					oldWords[0] = w
+					oldWords[acting] = w
 					slotIdx = s
-					bucket = b1
-					if bi == 1 {
-						bucket = b2
-					}
+					bucket = bkt
 					break
 				}
 				if found {
@@ -553,25 +748,31 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 					return fmt.Errorf("fusee: buckets full for key %q", key)
 				}
 			}
-			// Read the backup replicas' current words for the slot.
-			if r > 1 {
-				ops := make([]rdma.Op, 0, r-1)
-				bufs := make([][]byte, r-1)
-				for i := 1; i < r; i++ {
+			// Read the other surviving replicas' current words for the
+			// slot.
+			if len(live) > 1 {
+				ops := make([]rdma.Op, 0, len(live)-1)
+				bufs := make(map[int][]byte, len(live)-1)
+				for _, i := range live[1:] {
 					mn := cfg.replicaMN(p, i)
 					region := cfg.hostedRegion(mn, p)
-					bufs[i-1] = make([]byte, 8)
+					buf := make([]byte, 8)
+					bufs[i] = buf
 					ops = append(ops, rdma.Op{Kind: rdma.OpRead,
 						Addr: rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: c.slotOff(region, bucket, slotIdx)},
-						Buf:  bufs[i-1]})
+						Buf:  buf})
 				}
-				c.Stats.ReadsIssued += uint64(r - 1)
-				c.Stats.BytesRead += uint64((r - 1) * 8)
+				c.Stats.ReadsIssued += uint64(len(ops))
+				c.Stats.BytesRead += uint64(len(ops) * 8)
 				if err := c.ctx.Batch(ops); err != nil {
+					if errors.Is(err, rdma.ErrNodeFailed) {
+						c.refreshView()
+						continue
+					}
 					return err
 				}
-				for i := 1; i < r; i++ {
-					oldWords[i] = binary.LittleEndian.Uint64(bufs[i-1])
+				for _, i := range live[1:] {
+					oldWords[i] = binary.LittleEndian.Uint64(bufs[i])
 				}
 			}
 		}
@@ -581,6 +782,13 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 		classUnits := uint8(size / 64)
 		addrs, err := c.placeReplicas(key, val, tombstone, classUnits)
 		if err != nil {
+			if errors.Is(err, rdma.ErrNodeFailed) {
+				// An open block's MN died mid-write: drop the class's
+				// blocks and reallocate on survivors.
+				delete(c.open, classUnits)
+				c.refreshView()
+				continue
+			}
 			return err
 		}
 		// CAS the backups (one batch), then the primary (commit).
@@ -594,7 +802,11 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 		// next (§2.4: "Based on the CAS results, one winner is
 		// selected...").
 		ok := true
-		for i := 1; i < r && ok; i++ {
+		casFailover := false
+		for _, i := range live[1:] {
+			if !ok {
+				break
+			}
 			mn := cfg.replicaMN(p, i)
 			region := cfg.hostedRegion(mn, p)
 			c.Stats.CASIssued++
@@ -602,24 +814,34 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 				rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: c.slotOff(region, bucket, slotIdx)},
 				oldWords[i], newWords[i])
 			if err != nil {
+				if c.noteErr(mn, err) {
+					casFailover = true
+					break
+				}
 				return err
 			}
 			if prev != oldWords[i] {
 				ok = false
 			}
 		}
+		if casFailover {
+			continue
+		}
 		if ok {
-			mn := cfg.replicaMN(p, 0)
+			mn := cfg.replicaMN(p, acting)
 			region := cfg.hostedRegion(mn, p)
 			c.Stats.CASIssued++
 			prev, err := c.ctx.CAS(
 				rdma.GlobalAddr{Node: c.cl.nodes[mn], Off: c.slotOff(region, bucket, slotIdx)},
-				oldWords[0], newWords[0])
+				oldWords[acting], newWords[acting])
 			if err != nil {
+				if c.noteErr(mn, err) {
+					continue
+				}
 				return err
 			}
-			if prev == oldWords[0] {
-				if cfg.CacheValues {
+			if prev == oldWords[acting] {
+				if cfg.CacheValues && acting == 0 {
 					c.cache[string(key)] = &cacheEnt{bucket: bucket, slotIdx: slotIdx,
 						vals: newWords, haveAll: true, len: size}
 				}
@@ -698,20 +920,31 @@ func (c *Client) getBlocks(classUnits uint8) ([]*openBlock, error) {
 	used := map[int]bool{}
 	for i := 0; i < r; i++ {
 		allocated := false
-		for try := 0; try < cfg.NumMNs; try++ {
-			mn := (base + i + try) % cfg.NumMNs
-			if used[mn] {
-				continue
+		// First pass wants copies on distinct MNs; when failures leave
+		// fewer live MNs than replicas, the relaxed pass reuses live
+		// MNs (distinct blocks) rather than refusing writes.
+		for _, distinct := range []bool{true, false} {
+			for try := 0; try < cfg.NumMNs && !allocated; try++ {
+				mn := (base + i + try) % cfg.NumMNs
+				if (distinct && used[mn]) || c.cl.Failed(mn) {
+					continue
+				}
+				resp, err := c.ctx.RPC(c.cl.nodes[mn], methodAlloc, req[:])
+				if err != nil {
+					c.noteErr(mn, err)
+					continue
+				}
+				if len(resp) == 0 || resp[0] != 0 {
+					continue
+				}
+				idx := int(binary.LittleEndian.Uint32(resp[1:]))
+				obs = append(obs, &openBlock{mn: mn, idx: idx})
+				used[mn] = true
+				allocated = true
 			}
-			resp, err := c.ctx.RPC(c.cl.nodes[mn], methodAlloc, req[:])
-			if err != nil || len(resp) == 0 || resp[0] != 0 {
-				continue
+			if allocated {
+				break
 			}
-			idx := int(binary.LittleEndian.Uint32(resp[1:]))
-			obs = append(obs, &openBlock{mn: mn, idx: idx})
-			used[mn] = true
-			allocated = true
-			break
 		}
 		if !allocated {
 			return nil, ErrNoSpace

@@ -1,0 +1,82 @@
+// ftmode registration: the baseline promoted behind the same API as
+// Aceso itself, so every harness (cmds, bench, chaos tests) drives it
+// through core.OpenFT with Config.FTMode = core.FTModeFusee.
+package fusee
+
+import (
+	"repro/internal/core"
+	"repro/internal/ftmode"
+	"repro/internal/rdma"
+)
+
+func init() {
+	core.RegisterFTMode(core.FTModeFusee, func(cfg core.Config, pl rdma.Platform) (ftmode.Cluster, error) {
+		cl, err := NewCluster(ConfigFromCore(cfg), pl)
+		if err != nil {
+			return nil, err
+		}
+		return &mode{cl: cl}, nil
+	})
+}
+
+// ConfigFromCore derives the baseline's geometry from a shared core
+// Config so both stores see comparable index and block capacity: the
+// index area is split into Replicas hosted partitions, and the block
+// area matches Aceso's data+pool block count.
+func ConfigFromCore(cfg core.Config) Config {
+	r := cfg.ReplicaCount()
+	fc := Config{
+		NumMNs:         cfg.Layout.NumMNs,
+		Replicas:       r,
+		SlotBytes:      8,
+		PartitionBytes: cfg.Layout.IndexBytes / uint64(r),
+		BlockSize:      cfg.Layout.BlockSize,
+		BlocksPerMN:    cfg.Layout.BlocksPerMN(),
+		CacheValues:    cfg.CacheSlotAddr,
+	}
+	// Partitions are laid out back to back at j*PartitionBytes, so the
+	// split must stay bucket-aligned or every slot word in partitions
+	// j>0 lands on an unaligned address and CAS refuses it (the default
+	// 2 MB index / 3 replicas is not).
+	fc.PartitionBytes -= fc.PartitionBytes % fc.bucketBytes()
+	if fc.PartitionBytes == 0 {
+		fc.PartitionBytes = 1 << 20
+	}
+	return fc
+}
+
+// mode adapts *Cluster to ftmode.Cluster.
+type mode struct{ cl *Cluster }
+
+// Fusee exposes the underlying cluster for baseline-specific surfaces.
+func (m *mode) Fusee() *Cluster { return m.cl }
+
+func (m *mode) Mode() string { return core.FTModeFusee }
+
+func (m *mode) Caps() ftmode.Caps {
+	return ftmode.Caps{ReadFailover: true, AdminRPC: true}
+}
+
+// Start is a no-op: the alloc/kill handlers are installed at open and
+// the baseline runs no server daemons.
+func (m *mode) Start() error { return nil }
+
+func (m *mode) NewClient() ftmode.Client { return m.cl.NewClient() }
+
+func (m *mode) SpawnClient(cn rdma.NodeID, name string, fn func(ftmode.Client)) {
+	m.cl.SpawnClient(cn, name, func(c *Client) { fn(c) })
+}
+
+func (m *mode) FailMN(mn int) { m.cl.FailMN(mn) }
+
+func (m *mode) MNState(mn int) (failed, indexReady, blocksReady bool) {
+	return m.cl.MNState(mn)
+}
+
+func (m *mode) Ready() bool { return true }
+
+func (m *mode) Usage() ftmode.Usage {
+	return ftmode.Usage{TotalBytes: m.cl.AllocatedBytes()}
+}
+
+func (m *mode) NumMNs() int { return m.cl.Cfg.NumMNs }

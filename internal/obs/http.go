@@ -51,6 +51,9 @@ type Exporter struct {
 	// Version and FabricName label the aceso_build_info gauge.
 	Version    string
 	FabricName string
+	// FTMode, when set, emits the aceso_ftmode_info gauge labelling
+	// which fault-tolerance mode this process runs.
+	FTMode string
 	// EnablePprof mounts the net/http/pprof handlers under
 	// /debug/pprof/ (cpu, heap, mutex, block, ...).
 	EnablePprof bool
@@ -125,6 +128,10 @@ func (e *Exporter) WriteProm(w io.Writer) {
 	header(w, "aceso_build_info", "gauge", "Build metadata; always 1.")
 	fmt.Fprintf(w, "aceso_build_info{version=%q,go_version=%q,fabric=%q} 1\n",
 		orDev(e.Version), runtime.Version(), orUnknown(e.FabricName))
+	if e.FTMode != "" {
+		header(w, "aceso_ftmode_info", "gauge", "Fault-tolerance mode this process runs; always 1.")
+		fmt.Fprintf(w, "aceso_ftmode_info{mode=%q} 1\n", e.FTMode)
+	}
 	header(w, "aceso_process_start_time_seconds", "gauge", "Unix time the process started.")
 	fmt.Fprintf(w, "aceso_process_start_time_seconds %.3f\n", float64(processStart.UnixNano())/1e9)
 	if e.Fabric != nil {

@@ -24,6 +24,7 @@ func TestMetricsBuildInfoAndSLOFamilies(t *testing.T) {
 		SLO:        slo,
 		Version:    "v1.2.3",
 		FabricName: "tcpnet",
+		FTMode:     "aceso",
 	}
 	var sb strings.Builder
 	e.WriteProm(&sb)
@@ -45,6 +46,7 @@ func TestMetricsBuildInfoAndSLOFamilies(t *testing.T) {
 		`aceso_slo_error_budget_burn{op="update"} 100`,
 		"aceso_slo_degraded 1",
 		"# TYPE aceso_slo_latency_seconds gauge",
+		`aceso_ftmode_info{mode="aceso"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)
@@ -60,6 +62,10 @@ func TestMetricsBuildInfoAndSLOFamilies(t *testing.T) {
 	if !strings.Contains(sb2.String(), `aceso_build_info{version="dev",`) ||
 		!strings.Contains(sb2.String(), `,fabric="unknown"} 1`) {
 		t.Errorf("default build info wrong:\n%s", sb2.String())
+	}
+	// An unset FTMode emits no ftmode_info gauge.
+	if strings.Contains(sb2.String(), "aceso_ftmode_info") {
+		t.Error("ftmode_info emitted with FTMode unset")
 	}
 }
 

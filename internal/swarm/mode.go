@@ -1,0 +1,78 @@
+// ftmode registration: the SWARM-style in-place mode behind the same
+// API as Aceso, selected with Config.FTMode = core.FTModeSwarm.
+package swarm
+
+import (
+	"repro/internal/core"
+	"repro/internal/ftmode"
+	"repro/internal/rdma"
+)
+
+func init() {
+	core.RegisterFTMode(core.FTModeSwarm, func(cfg core.Config, pl rdma.Platform) (ftmode.Cluster, error) {
+		cl, err := NewCluster(ConfigFromCore(cfg), pl)
+		if err != nil {
+			return nil, err
+		}
+		return &mode{cl: cl}, nil
+	})
+}
+
+// ConfigFromCore derives the mode's geometry from a shared core Config
+// (same split as the FUSEE baseline: the index area becomes Replicas
+// hosted partitions, the block area matches Aceso's block count).
+func ConfigFromCore(cfg core.Config) Config {
+	r := cfg.ReplicaCount()
+	sc := Config{
+		NumMNs:         cfg.Layout.NumMNs,
+		Replicas:       r,
+		PartitionBytes: cfg.Layout.IndexBytes / uint64(r),
+		BlockSize:      cfg.Layout.BlockSize,
+		BlocksPerMN:    cfg.Layout.BlocksPerMN(),
+		CacheValues:    cfg.CacheSlotAddr,
+	}
+	// Keep the back-to-back partition split bucket-aligned, or slot
+	// words in partitions j>0 land on unaligned addresses and CAS
+	// refuses them (the default 2 MB index / 3 replicas is not).
+	sc.PartitionBytes -= sc.PartitionBytes % sc.bucketBytes()
+	if sc.PartitionBytes == 0 {
+		sc.PartitionBytes = 1 << 20
+	}
+	return sc
+}
+
+// mode adapts *Cluster to ftmode.Cluster.
+type mode struct{ cl *Cluster }
+
+// Swarm exposes the underlying cluster for mode-specific surfaces.
+func (m *mode) Swarm() *Cluster { return m.cl }
+
+func (m *mode) Mode() string { return core.FTModeSwarm }
+
+func (m *mode) Caps() ftmode.Caps {
+	return ftmode.Caps{ReadFailover: true, AdminRPC: true}
+}
+
+// Start is a no-op: handlers are installed at open and the mode runs
+// no server daemons.
+func (m *mode) Start() error { return nil }
+
+func (m *mode) NewClient() ftmode.Client { return m.cl.NewClient() }
+
+func (m *mode) SpawnClient(cn rdma.NodeID, name string, fn func(ftmode.Client)) {
+	m.cl.SpawnClient(cn, name, func(c *Client) { fn(c) })
+}
+
+func (m *mode) FailMN(mn int) { m.cl.FailMN(mn) }
+
+func (m *mode) MNState(mn int) (failed, indexReady, blocksReady bool) {
+	return m.cl.MNState(mn)
+}
+
+func (m *mode) Ready() bool { return true }
+
+func (m *mode) Usage() ftmode.Usage {
+	return ftmode.Usage{TotalBytes: m.cl.AllocatedBytes()}
+}
+
+func (m *mode) NumMNs() int { return m.cl.Cfg.NumMNs }

@@ -1,0 +1,96 @@
+package aceso
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestOpenEveryMode drives the mode-generic surface end to end for
+// every linked fault-tolerance mode on the simulated fabric.
+func TestOpenEveryMode(t *testing.T) {
+	modes := FTModes()
+	want := []string{FTModeAceso, FTModeFusee, FTModeSwarm}
+	if len(modes) != len(want) {
+		t.Fatalf("FTModes() = %v, want %v", modes, want)
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Layout.IndexBytes = 96 << 10
+			cfg.Layout.BlockSize = 16 << 10
+			cfg.Layout.StripeRows = 12
+			cfg.Layout.PoolBlocks = 10
+			cfg.FTMode = mode
+			cluster, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			if cluster.FTMode() != mode {
+				t.Fatalf("FTMode() = %q, want %q", cluster.FTMode(), mode)
+			}
+			cluster.Start()
+			cluster.RunKV("app", func(c KV) {
+				if err := c.Insert([]byte("k"), []byte("v")); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				got, err := c.Search([]byte("k"))
+				if err != nil || !bytes.Equal(got, []byte("v")) {
+					t.Errorf("search: %q, %v", got, err)
+				}
+				if _, err := c.Search([]byte("missing")); !errors.Is(err, ErrNotFound) {
+					t.Errorf("missing key: err = %v, want ErrNotFound", err)
+				}
+			})
+			if u := cluster.Usage(); u.TotalBytes == 0 {
+				t.Error("Usage().TotalBytes = 0 after an insert")
+			}
+		})
+	}
+}
+
+func TestOpenUnknownFabric(t *testing.T) {
+	if _, err := Open(DefaultConfig(), WithFabric("infiniband")); err == nil {
+		t.Fatal("Open accepted unknown fabric")
+	} else if !strings.Contains(err.Error(), "infiniband") {
+		t.Fatalf("error %q does not name the fabric", err)
+	}
+}
+
+func TestOpenUnknownFTMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FTMode = "raid5"
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open accepted unknown ftmode")
+	}
+}
+
+// TestAcesoOnlySurfacePanics pins the contract that reaching for an
+// Aceso-only surface on a replication-mode cluster fails loudly.
+func TestAcesoOnlySurfacePanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Layout.IndexBytes = 96 << 10
+	cfg.Layout.BlockSize = 16 << 10
+	cfg.Layout.StripeRows = 12
+	cfg.Layout.PoolBlocks = 10
+	cfg.FTMode = FTModeFusee
+	cluster, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MemoryUsage() on a fusee cluster did not panic")
+		}
+		if !strings.Contains(r.(string), FTModeFusee) {
+			t.Fatalf("panic %v does not name the running mode", r)
+		}
+	}()
+	cluster.MemoryUsage()
+}
