@@ -54,6 +54,10 @@ func main() {
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "delta/copy pool blocks per MN")
 	flag.IntVar(&cfg.Layout.CkptSegments, "ckpt-segments", cfg.Layout.CkptSegments, "checkpoint index segments (geometry: must match the daemons)")
 	flag.IntVar(&cfg.TraceSample, "trace-sample", 1, "op-span sampling: 1 in N of this client's ops records a span tree (<0 disables)")
+	flag.IntVar(&cfg.CacheEntries, "cache-entries", cfg.CacheEntries, "client index cache entry bound (0 = default 16384, <0 disables)")
+	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "hot-bucket mirror budget (0 disables the offload)")
+	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
+	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -160,6 +164,10 @@ func execute(c ftmode.Client, fields []string) (quit bool) {
 					s.Ops, s.Searches, s.Inserts, s.Updates, s.Deletes,
 					s.CASIssued, s.ReadsIssued, s.WritesIssued, s.CASRetries,
 					s.CacheHits, s.CacheMisses, s.DegradedReads, s.Invalidations)
+				entries, bytes, offloaded, evictions := cc.CacheStats()
+				fmt.Printf("cache: entries=%d bytes=%d negHits=%d evictions=%d mirror{buckets=%d hits=%d negHits=%d}\n",
+					entries, bytes, s.CacheNegHits, evictions,
+					offloaded, s.MirrorHits, s.MirrorNegHits)
 			} else {
 				cas, reads, writes := c.Counters()
 				fmt.Printf("cas=%d reads=%d writes=%d\n", cas, reads, writes)
@@ -398,6 +406,17 @@ func printMNStats(c ftmode.Client, mn int) {
 	pool.Add("copy", float64(st.PoolCopy))
 	pool.Add("data", float64(st.PoolData))
 	fmt.Print(stats.Table(fmt.Sprintf("mn%d delta/copy pool occupancy", st.MN), pool))
+	cache := &stats.Series{Name: "cache"}
+	cache.Add("hits", float64(st.CacheHits))
+	cache.Add("misses", float64(st.CacheMisses))
+	cache.Add("negHits", float64(st.CacheNegHits))
+	cache.Add("evictions", float64(st.CacheEvictions))
+	cache.Add("mirrorHits", float64(st.CacheMirrorHits))
+	cache.Add("mirrorNegHits", float64(st.CacheMirrorNegHits))
+	cache.Add("entries", float64(st.CacheEntries))
+	cache.Add("bytes", float64(st.CacheBytes))
+	cache.Add("offloaded", float64(st.CacheOffloaded))
+	fmt.Print(stats.Table(fmt.Sprintf("mn%d client index cache (co-resident clients)", st.MN), cache))
 }
 
 // parseChaos decodes "<seed> <dropProb> <delayProb> <maxDelay> <resetProb>",

@@ -73,6 +73,10 @@ func main() {
 	flag.IntVar(&cfg.CkptWorkers, "ckpt-workers", cfg.CkptWorkers, "checkpoint compression worker cores per MN (0 = inline on the send core)")
 	flag.IntVar(&cfg.ECWorkers, "ec-workers", cfg.ECWorkers, "erasure worker cores per MN for banded encode/reconstruct kernels (0 = inline on the erasure core)")
 	flag.IntVar(&cfg.TraceSample, "trace-sample", cfg.TraceSample, "op-span sampling: 1 in N ops records a span tree (0 = default 64, <0 disables)")
+	flag.IntVar(&cfg.CacheEntries, "cache-entries", cfg.CacheEntries, "per-client index cache entry bound (0 = default 16384, <0 disables; clients must match)")
+	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "per-client hot-bucket mirror budget (0 disables the offload; clients must match)")
+	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
+	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
 	flag.IntVar(&cfg.TraceSpans, "trace-spans", cfg.TraceSpans, "span ring capacity (newest retained; 0 = default 4096)")
 	opt := tcpnet.Options{}.WithDefaults()
 	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
@@ -142,6 +146,7 @@ func main() {
 			exp.Trace = cl.Trace()
 			exp.Tracer = cl.Tracer()
 			exp.Ready = cl.Ready
+			exp.Cache = cl.CacheMetrics()
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {

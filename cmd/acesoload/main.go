@@ -97,6 +97,10 @@ func main() {
 	flag.Uint64Var(&cfg.Layout.BlockSize, "block-size", cfg.Layout.BlockSize, "memory block size (must match the daemons)")
 	stripes := flag.Int("stripes", cfg.Layout.StripeRows, "coding stripe rows (must match the daemons)")
 	pool := flag.Int("pool", cfg.Layout.PoolBlocks, "pool blocks per MN (must match the daemons)")
+	flag.IntVar(&cfg.CacheEntries, "cache-entries", cfg.CacheEntries, "per-client index cache entry bound (0 = default 16384, <0 disables)")
+	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "per-client hot-bucket mirror budget (0 disables the offload)")
+	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
+	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -134,6 +138,7 @@ func main() {
 		if cl != nil {
 			exp.Trace = cl.Trace()
 			exp.Tracer = cl.Tracer()
+			exp.Cache = cl.CacheMetrics()
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {

@@ -78,6 +78,15 @@ func (s *Server) handleAdminStats(_ []byte) ([]byte, time.Duration) {
 	e.u64(st.ECEncodeBatches)
 	e.u64(st.ECDecodeBytes)
 	e.u64(st.ECDecodeNs)
+	e.u64(st.CacheHits)
+	e.u64(st.CacheMisses)
+	e.u64(st.CacheNegHits)
+	e.u64(st.CacheEvictions)
+	e.u64(st.CacheMirrorHits)
+	e.u64(st.CacheMirrorNegHits)
+	e.u64(st.CacheEntries)
+	e.u64(st.CacheBytes)
+	e.u64(st.CacheOffloaded)
 	return e.b, 2 * time.Microsecond
 }
 
@@ -122,6 +131,15 @@ func (c *Client) StatsMN(mn int) (ServerStats, error) {
 	st.ECEncodeBatches = d.u64()
 	st.ECDecodeBytes = d.u64()
 	st.ECDecodeNs = d.u64()
+	st.CacheHits = d.u64()
+	st.CacheMisses = d.u64()
+	st.CacheNegHits = d.u64()
+	st.CacheEvictions = d.u64()
+	st.CacheMirrorHits = d.u64()
+	st.CacheMirrorNegHits = d.u64()
+	st.CacheEntries = d.u64()
+	st.CacheBytes = d.u64()
+	st.CacheOffloaded = d.u64()
 	return st, nil
 }
 

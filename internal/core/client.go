@@ -28,10 +28,19 @@ var (
 
 const maxOpRetries = 1024
 
+// maxOpenClasses bounds the open-DATA-block map: a workload cycling
+// through many value size classes would otherwise pin one partially
+// filled block (plus, for reused blocks, a BlockSize oldData image)
+// per class forever. Past the bound the least-recently-used class is
+// sealed early — its unwritten slots leak until reclamation, which is
+// the bounded-memory trade the paper's per-class open blocks imply.
+const maxOpenClasses = 16
+
 // Client executes KV requests with one-sided verbs (§3.1). Each client
 // is single-threaded (bind one per process/coroutine, as the paper's
-// clients do); it owns open DATA blocks per size class and a local
-// index cache storing both slot addresses and slot values (§3.5.1).
+// clients do); it owns open DATA blocks per size class and a bounded
+// CN-side index cache (§3.5.1, DESIGN.md §12) of positive slot-address
+// entries, negative entries and an optional hot-bucket mirror.
 type Client struct {
 	cl  *Cluster
 	id  uint16
@@ -42,8 +51,16 @@ type Client struct {
 	// waits and degraded reads with OpMark.
 	ot obs.OpTracer
 
-	cache    map[string]*cacheEnt
+	cache  *clientCache  // nil when CacheEntries < 0
+	mirror *bucketMirror // nil unless OffloadBuckets > 0
+	// bvLive: the fabric maintains bucket version words (servers can
+	// bump them pre-ack), so version-validated state (negative
+	// entries, mirror copies) may be trusted.
+	bvLive   bool
+	met      *obs.CacheMetrics
+	scratch  readScratch
 	open     map[uint8]*openBlock
+	openLRU  []uint8 // size classes, least recently used first
 	pending  map[pendKey][]uint32
 	pendingN int
 	allocSeq int
@@ -53,6 +70,25 @@ type Client struct {
 
 	// Stats observable by harnesses.
 	Stats ClientStats
+}
+
+// readScratch holds the cached-GET hot path's reusable buffers, so a
+// steady-state hit performs no heap allocation (TestCachedGetZeroAlloc).
+type readScratch struct {
+	kv   []byte // KV read buffer, grown to the largest class seen
+	word [4][8]byte
+	b1   []byte // bucket image buffers (CacheSlotAddr=false ablation)
+	b2   []byte
+	ops  [6]rdma.Op
+	dkv  layout.KV
+}
+
+// growKV returns an n-byte KV buffer, reusing prior capacity.
+func (sc *readScratch) growKV(n int) []byte {
+	if cap(sc.kv) < n {
+		sc.kv = make([]byte, n)
+	}
+	return sc.kv[:n]
 }
 
 // ClientStats counts notable client-side events.
@@ -68,6 +104,9 @@ type ClientStats struct {
 	DegradedReads uint64
 	CacheHits     uint64
 	CacheMisses   uint64
+	CacheNegHits  uint64 // negative entries validated: miss answered in one doorbell
+	MirrorHits    uint64 // GETs served from the hot-bucket mirror
+	MirrorNegHits uint64 // absences proven by a mirror scan + version check
 	BlocksAlloc   uint64
 	BlocksReused  uint64
 	CASIssued     uint64
@@ -80,14 +119,6 @@ type ClientStats struct {
 type pendKey struct {
 	mn    int
 	block int
-}
-
-type cacheEnt struct {
-	mn      int
-	slotOff uint64 // offset of the slot's Atomic word in mn's index
-	atomic  uint64 // cached Atomic word
-	meta    layout.SlotMeta
-	tomb    bool // the committed pair is a tombstone
 }
 
 type openBlock struct {
@@ -114,13 +145,29 @@ type deltaTarget struct {
 }
 
 func newClient(cl *Cluster, id uint16) *Client {
-	return &Client{
+	c := &Client{
 		cl:      cl,
 		id:      id,
-		cache:   make(map[string]*cacheEnt),
+		bvLive:  cl.bvLive,
+		met:     &cl.cacheMet,
 		open:    make(map[uint8]*openBlock),
 		pending: make(map[pendKey][]uint32),
 	}
+	c.cache = newClientCache(cl.Cfg.cacheEntries())
+	if c.cache != nil {
+		c.cache.met = c.met
+		c.met.Entries.Add(0) // touch so the family exports even before traffic
+		c.met.Bytes.Add(int64(c.cache.Bytes()))
+	}
+	c.mirror = newBucketMirror(cl.Cfg.offloadBuckets(), c.met)
+	return c
+}
+
+// CacheStats reports the client's cache occupancy and footprint
+// (entries, resident bytes including the mirror, mirrored buckets,
+// CLOCK evictions). Harnesses use it to assert the memory bound.
+func (c *Client) CacheStats() (entries int, bytes uint64, offloaded int, evictions uint64) {
+	return c.cache.Len(), c.cache.Bytes() + c.mirror.Bytes(), c.mirror.Len(), c.cache.Evictions()
 }
 
 // Attach binds the client to its process context. It must be called
@@ -177,18 +224,26 @@ func (c *Client) waitIndexReady(mn int) {
 
 // --- SEARCH ---
 
-// Search returns the value of key, or ErrNotFound.
+// Search returns the value of key, or ErrNotFound. The returned slice
+// is freshly allocated; use SearchAppend to reuse a caller buffer.
 func (c *Client) Search(key []byte) ([]byte, error) {
+	return c.SearchAppend(nil, key)
+}
+
+// SearchAppend appends the value of key to dst and returns the
+// extended slice (or nil, ErrNotFound). With a caller-provided dst of
+// sufficient capacity, a cache-hit GET performs zero heap allocations.
+func (c *Client) SearchAppend(dst, key []byte) ([]byte, error) {
 	if c.ot != nil {
 		c.ot.OpBegin("get")
-		val, err := c.search(key)
+		val, err := c.search(dst, key)
 		c.ot.OpEnd(err != nil && !errors.Is(err, ErrNotFound))
 		return val, err
 	}
-	return c.search(key)
+	return c.search(dst, key)
 }
 
-func (c *Client) search(key []byte) ([]byte, error) {
+func (c *Client) search(dst, key []byte) ([]byte, error) {
 	c.Stats.Ops++
 	c.Stats.Searches++
 	h := racehash.Hash(key)
@@ -196,17 +251,87 @@ func (c *Client) search(key []byte) ([]byte, error) {
 	fp := racehash.Fingerprint(h)
 	c.waitIndexReady(mn)
 
-	if ent, ok := c.cache[string(key)]; ok {
-		c.Stats.CacheHits++
-		val, err := c.cachedRead(key, ent)
-		if err == nil || errors.Is(err, ErrNotFound) {
-			return val, err
+	sawMiss := false
+	if ent := c.cache.lookup(h, key); ent != nil {
+		switch {
+		case ent.neg():
+			if c.negValid(ent, h, mn) {
+				c.Stats.CacheNegHits++
+				c.met.NegHits.Add(1)
+				c.noteHot(h, mn)
+				return nil, ErrNotFound
+			}
+			// Stale negative conclusion: requery with the version
+			// piggyback (which refreshes or replaces the entry).
+			sawMiss = true
+		case ent.flags&entMissed != 0:
+			// Miss candidate: the key missed before, so this query
+			// snapshots versions and installs a validated negative.
+			c.Stats.CacheMisses++
+			c.met.Misses.Add(1)
+			sawMiss = true
+		default:
+			c.Stats.CacheHits++
+			c.met.Hits.Add(1)
+			val, err := c.cachedRead(dst, key, ent)
+			if err == nil || errors.Is(err, ErrNotFound) {
+				c.noteHot(h, mn)
+				return val, err
+			}
+			// Stale or torn: fall back to a full index query.
 		}
-		// Stale or torn: fall back to a full index query.
 	} else {
 		c.Stats.CacheMisses++
+		c.met.Misses.Add(1)
 	}
-	return c.querySearch(key, h, mn, fp)
+	if c.mirror != nil && c.bvLive {
+		if val, err, served := c.mirrorSearch(dst, key, h, mn, fp); served {
+			return val, err
+		}
+	}
+	return c.querySearch(dst, key, h, mn, fp, sawMiss)
+}
+
+// negValid revalidates a negative entry: one doorbell of two 8-byte
+// bucket-version reads. Equality with the populated versions proves
+// neither candidate bucket changed since the absence was observed, so
+// the key is still absent (the bump lands before any writer's ack).
+// Entries from an older view epoch are never trusted — a rebuilt MN
+// restarts its version counters.
+func (c *Client) negValid(ent *cacheEnt, h uint64, mn int) bool {
+	if !c.bvLive || ent.mn != mn || ent.epoch != c.cl.view.epochNow() {
+		return false
+	}
+	l := c.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	a1, ok1 := c.cl.Addr(mn, l.BucketVerOff(i1))
+	a2, ok2 := c.cl.Addr(mn, l.BucketVerOff(i2))
+	if !ok1 || !ok2 {
+		return false
+	}
+	sc := &c.scratch
+	ops := sc.ops[:0]
+	ops = append(ops,
+		rdma.Op{Kind: rdma.OpRead, Addr: a1, Buf: sc.word[0][:]},
+		rdma.Op{Kind: rdma.OpRead, Addr: a2, Buf: sc.word[1][:]})
+	if c.vbatch(ops) != nil || ops[0].Err != nil || ops[1].Err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint64(sc.word[0][:]) == ent.negV1 &&
+		binary.LittleEndian.Uint64(sc.word[1][:]) == ent.negV2
+}
+
+// noteHot feeds the mirror's promotion counters from the cache-hit
+// stream too, so bucket heat reflects total GET traffic rather than
+// only misses: when CLOCK pressure later evicts a hot key from the
+// entry cache, its bucket is usually already resident and the refill
+// costs one RTT through the mirror.
+func (c *Client) noteHot(h uint64, mn int) {
+	if c.mirror == nil || !c.bvLive {
+		return
+	}
+	i1, _ := racehash.BucketPair(h, c.cl.L.NumBuckets())
+	c.mirror.note(mn, i1)
 }
 
 var errStaleCache = errors.New("core: stale cache entry")
@@ -217,40 +342,51 @@ var errStaleCache = errors.New("core: stale cache entry")
 // slot CAS is the commit point). Without CacheSlotAddr (the "+CKPT"
 // factor-analysis configuration) the client must re-read the whole
 // bucket to locate and validate the slot.
-func (c *Client) cachedRead(key []byte, ent *cacheEnt) ([]byte, error) {
+// All buffers come from the client's readScratch, so a steady-state
+// hit is allocation-free.
+func (c *Client) cachedRead(dst, key []byte, ent *cacheEnt) ([]byte, error) {
 	if ent.meta.Len == 0 {
 		return nil, errStaleCache
 	}
+	if c.cl.Cfg.CacheValues && c.cl.Cfg.CacheSlotAddr && ent.flags&entVal != 0 {
+		return c.cachedValRead(dst, key, ent)
+	}
 	atom := layout.UnpackAtomic(ent.atomic)
 	kvAddr, ok := c.cl.PackedAddr(atom.Addr)
-	kvBuf := make([]byte, int(ent.meta.Len)*64)
-	var slotBuf [8]byte
+	sc := &c.scratch
+	kvBuf := sc.growKV(int(ent.meta.Len) * 64)
 
-	ops := []rdma.Op{{Kind: rdma.OpRead, Addr: kvAddr, Buf: kvBuf}}
+	ops := sc.ops[:0]
+	ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: kvAddr, Buf: kvBuf})
 	if c.cl.Cfg.CacheSlotAddr {
 		// The slot's address is cached: one 8-byte validation read.
 		slotAddr, idxOK := c.cl.Addr(ent.mn, ent.slotOff)
 		if !idxOK {
 			return nil, errStaleCache
 		}
-		ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: slotAddr, Buf: slotBuf[:]})
+		ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: slotAddr, Buf: sc.word[0][:]})
 	} else {
 		// Value-only cache (the "+CKPT" configuration): locating the
 		// slot to validate requires re-reading both candidate buckets,
 		// like the FUSEE baseline.
 		h := racehash.Hash(key)
 		i1, i2 := racehash.BucketPair(h, c.cl.L.NumBuckets())
-		for _, b := range []uint64{i1, i2} {
+		if sc.b1 == nil {
+			sc.b1 = make([]byte, layout.BucketSize)
+			sc.b2 = make([]byte, layout.BucketSize)
+		}
+		bufs := [2][]byte{sc.b1, sc.b2}
+		for bi, b := range [2]uint64{i1, i2} {
 			a, idxOK := c.cl.Addr(ent.mn, c.cl.L.BucketOff(b))
 			if !idxOK {
 				return nil, errStaleCache
 			}
-			ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: a, Buf: make([]byte, layout.BucketSize)})
+			ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: a, Buf: bufs[bi]})
 		}
 	}
 	err := c.vbatch(ops)
-	for _, op := range ops[1:] {
-		if op.Err != nil {
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Err != nil {
 			return nil, errStaleCache // index node changed under us
 		}
 	}
@@ -270,7 +406,7 @@ func (c *Client) cachedRead(key []byte, ent *cacheEnt) ([]byte, error) {
 		return nil, errStaleCache
 	}
 	if cur == ent.atomic {
-		return c.finishRead(key, ent, kvBuf)
+		return c.finishRead(dst, key, ent, kvBuf)
 	}
 	// Slot changed: refresh the cache and read the new KV (§3.5.1
 	// "otherwise, it reads the new KV pair based on the new index
@@ -280,11 +416,47 @@ func (c *Client) cachedRead(key []byte, ent *cacheEnt) ([]byte, error) {
 	if newAtom.Addr == 0 {
 		return nil, errStaleCache
 	}
-	kvBuf = make([]byte, int(ent.meta.Len)*64)
 	if err := c.readKVBytes(kvBuf, newAtom.Addr); err != nil {
 		return nil, errStaleCache
 	}
-	return c.finishRead(key, ent, kvBuf)
+	return c.finishRead(dst, key, ent, kvBuf)
+}
+
+// cachedValRead serves a hit from the entry's cached value bytes under
+// a single 8-byte read of the slot Atomic word (Config.CacheValues).
+// The word is the commit point of every mutation that can change the
+// pair — update, delete and reclamation move all CAS it — so finding it
+// unchanged proves the cached bytes are still the committed pair. On a
+// changed word the new pair is chased through the new Atomic, exactly
+// like the §3.5.1 slot-address path, and the cached copy refreshed.
+func (c *Client) cachedValRead(dst, key []byte, ent *cacheEnt) ([]byte, error) {
+	slotAddr, ok := c.cl.Addr(ent.mn, ent.slotOff)
+	if !ok {
+		return nil, errStaleCache
+	}
+	sc := &c.scratch
+	ops := sc.ops[:0]
+	ops = append(ops, rdma.Op{Kind: rdma.OpRead, Addr: slotAddr, Buf: sc.word[0][:]})
+	if c.vbatch(ops) != nil || ops[0].Err != nil {
+		return nil, errStaleCache
+	}
+	cur := binary.LittleEndian.Uint64(sc.word[0][:])
+	if cur != ent.atomic {
+		ent.atomic = cur
+		newAtom := layout.UnpackAtomic(cur)
+		if newAtom.Addr == 0 {
+			return nil, errStaleCache
+		}
+		kvBuf := sc.growKV(int(ent.meta.Len) * 64)
+		if err := c.readKVBytes(kvBuf, newAtom.Addr); err != nil {
+			return nil, errStaleCache
+		}
+		return c.finishRead(dst, key, ent, kvBuf)
+	}
+	if ent.tomb() {
+		return nil, ErrNotFound
+	}
+	return append(dst, ent.val...), nil
 }
 
 // currentAtomic extracts the slot's current Atomic word from the
@@ -305,31 +477,58 @@ func (c *Client) currentAtomic(ent *cacheEnt, ops []rdma.Op) (uint64, bool) {
 }
 
 // finishRead decodes and validates a KV read under a verified slot,
-// keeping the cache entry's tombstone state current.
-func (c *Client) finishRead(key []byte, ent *cacheEnt, kvBuf []byte) ([]byte, error) {
-	kv, err := layout.DecodeKV(kvBuf)
-	if err != nil || kv == nil {
+// keeping the cache entry's tombstone state current. The value is
+// appended to dst (decoding goes through the scratch KV, so no
+// allocation happens beyond dst growth).
+func (c *Client) finishRead(dst, key []byte, ent *cacheEnt, kvBuf []byte) ([]byte, error) {
+	sc := &c.scratch
+	ok, err := layout.DecodeKVInto(&sc.dkv, kvBuf)
+	if err != nil || !ok {
 		return nil, errStaleCache
 	}
+	kv := &sc.dkv
 	if !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
 		return nil, errStaleCache
 	}
-	ent.tomb = kv.Tombstone
+	ent.flags &^= entTomb
 	if kv.Tombstone {
+		ent.flags |= entTomb
+		if c.cl.Cfg.CacheValues {
+			c.cache.storeVal(ent, nil)
+		}
 		return nil, ErrNotFound
 	}
-	return append([]byte(nil), kv.Val...), nil
+	if c.cl.Cfg.CacheValues {
+		c.cache.storeVal(ent, kv.Val)
+	}
+	return append(dst, kv.Val...), nil
 }
 
 // querySearch reads the key's two candidate buckets and chases
-// fingerprint matches.
-func (c *Client) querySearch(key []byte, h uint64, mn int, fp uint8) ([]byte, error) {
+// fingerprint matches. When the fabric maintains bucket version words
+// it piggybacks the two 8-byte words onto the bucket batch (read
+// first, so "word still equals v" later proves the images current) —
+// but only when the extra verbs will pay for themselves: when the
+// bucket pair is hot enough to promote into the mirror, or when the
+// key is a known miss candidate (sawMiss) so a clean miss installs a
+// validated negative entry. A first-time miss stays at the paper's
+// verb count and only marks the candidate.
+func (c *Client) querySearch(dst, key []byte, h uint64, mn int, fp uint8, sawMiss bool) ([]byte, error) {
+	l := c.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
 	for attempt := 0; attempt < maxOpRetries; attempt++ {
 		c.waitIndexReady(mn)
-		b1, b2, err := c.readBuckets(h, mn)
+		promote := c.bvLive && c.mirror != nil && c.mirror.note(mn, i1)
+		wantVer := c.bvLive && (promote || (c.cl.Cfg.CacheNegative && c.cache != nil && sawMiss))
+		epoch := c.cl.view.epochNow()
+		b1, b2, v1, v2, vOK, err := c.readBucketsVer(mn, i1, i2, wantVer)
 		if err != nil {
 			c.ctx.Sleep(100 * time.Microsecond)
 			continue
+		}
+		if promote && vOK && epoch == c.cl.view.epochNow() {
+			c.mirror.install(mn, i1, b1, v1, epoch)
+			c.mirror.install(mn, i2, b2, v2, epoch)
 		}
 		matches := racehash.ScanBuckets(fp, b1, b2)
 		stale := false
@@ -342,13 +541,33 @@ func (c *Client) querySearch(key []byte, h uint64, mn int, fp uint8) ([]byte, er
 			if kv == nil || !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
 				continue
 			}
-			c.updateCache(key, h, mn, m, kv.Tombstone)
+			c.updateCache(key, h, mn, m, kv.Tombstone, kv.Val)
 			if kv.Tombstone {
 				return nil, ErrNotFound
 			}
-			return append([]byte(nil), kv.Val...), nil
+			return append(dst, kv.Val...), nil
 		}
 		if !stale {
+			if c.cl.Cfg.CacheNegative {
+				if vOK {
+					// Clean miss under known bucket versions: remember
+					// the absence. Future GETs revalidate it with one
+					// doorbell of two 8-byte reads.
+					if ent := c.cache.upsert(h, key); ent != nil {
+						ent.flags = ent.flags&^(entTomb|entMissed) | entNeg
+						ent.mn = mn
+						ent.negV1, ent.negV2 = v1, v2
+						ent.epoch = epoch
+					}
+				} else if c.bvLive {
+					// First clean miss: mark the key so the next query
+					// piggybacks the version words and upgrades this to
+					// a validated negative entry.
+					if ent := c.cache.upsert(h, key); ent != nil {
+						ent.flags = ent.flags&^(entTomb|entNeg) | entMissed
+					}
+				}
+			}
 			return nil, ErrNotFound
 		}
 		c.ctx.Sleep(20 * time.Microsecond)
@@ -357,42 +576,220 @@ func (c *Client) querySearch(key []byte, h uint64, mn int, fp uint8) ([]byte, er
 }
 
 // readBuckets fetches the key's two candidate buckets in one doorbell
-// batch.
+// batch (write path; no version piggyback, preserving the paper's verb
+// counts).
 func (c *Client) readBuckets(h uint64, mn int) ([]byte, []byte, error) {
+	i1, i2 := racehash.BucketPair(h, c.cl.L.NumBuckets())
+	b1, b2, _, _, _, err := c.readBucketsVer(mn, i1, i2, false)
+	return b1, b2, err
+}
+
+// readBucketsVer fetches both candidate buckets, optionally preceded —
+// in the same in-order doorbell batch — by their version words. Since
+// servers bump a bucket's word before acking any verb that mutates it,
+// an image read after its word can only be newer: re-reading the word
+// later and finding it unchanged proves the image was still current.
+func (c *Client) readBucketsVer(mn int, i1, i2 uint64, withVer bool) (b1, b2 []byte, v1, v2 uint64, vOK bool, err error) {
 	l := c.cl.L
-	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
 	a1, ok1 := c.cl.Addr(mn, l.BucketOff(i1))
 	a2, ok2 := c.cl.Addr(mn, l.BucketOff(i2))
 	if !ok1 || !ok2 {
-		return nil, nil, rdma.ErrNodeFailed
+		return nil, nil, 0, 0, false, rdma.ErrNodeFailed
 	}
-	b1 := make([]byte, layout.BucketSize)
-	b2 := make([]byte, layout.BucketSize)
-	ops := []rdma.Op{
-		{Kind: rdma.OpRead, Addr: a1, Buf: b1},
-		{Kind: rdma.OpRead, Addr: a2, Buf: b2},
+	b1 = make([]byte, layout.BucketSize)
+	b2 = make([]byte, layout.BucketSize)
+	var w1, w2 [8]byte
+	ops := make([]rdma.Op, 0, 4)
+	if withVer {
+		va1, _ := c.cl.Addr(mn, l.BucketVerOff(i1))
+		va2, _ := c.cl.Addr(mn, l.BucketVerOff(i2))
+		ops = append(ops,
+			rdma.Op{Kind: rdma.OpRead, Addr: va1, Buf: w1[:]},
+			rdma.Op{Kind: rdma.OpRead, Addr: va2, Buf: w2[:]})
 	}
+	ops = append(ops,
+		rdma.Op{Kind: rdma.OpRead, Addr: a1, Buf: b1},
+		rdma.Op{Kind: rdma.OpRead, Addr: a2, Buf: b2})
 	if err := c.vbatch(ops); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, 0, false, err
 	}
-	return b1, b2, nil
+	if withVer && ops[0].Err == nil && ops[1].Err == nil {
+		vOK = true
+		v1 = binary.LittleEndian.Uint64(w1[:])
+		v2 = binary.LittleEndian.Uint64(w2[:])
+	}
+	return b1, b2, v1, v2, vOK, nil
 }
 
-// updateCache records the located slot for future cache-accelerated
-// reads and writes.
-func (c *Client) updateCache(key []byte, h uint64, mn int, m racehash.Match, tomb bool) {
+// mirrorSearch tries to serve the GET from CN-resident copies of both
+// candidate buckets: a local fingerprint scan, then one doorbell that
+// reads the KV pair and — after it — both bucket version words. Words
+// unchanged proves the local images (and so the slot the KV was read
+// through) were still current when the KV read executed. On a version
+// mismatch the images are refreshed in place and the scan retried;
+// buckets whose refreshes outpace their hits are demoted (write
+// pressure). served=false falls back to the remote bucket query.
+func (c *Client) mirrorSearch(dst, key []byte, h uint64, mn int, fp uint8) (val []byte, err error, served bool) {
+	l := c.cl.L
+	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
+	e1 := c.mirror.get(mn, i1)
+	e2 := c.mirror.get(mn, i2)
+	if e1 == nil || e2 == nil {
+		return nil, nil, false
+	}
+	va1, ok1 := c.cl.Addr(mn, l.BucketVerOff(i1))
+	va2, ok2 := c.cl.Addr(mn, l.BucketVerOff(i2))
+	if !ok1 || !ok2 {
+		return nil, nil, false
+	}
+	sc := &c.scratch
+	ents := [2]*mirrorEnt{e1, e2}
+	vas := [2]rdma.GlobalAddr{va1, va2}
+	for attempt := 0; attempt < 4; attempt++ {
+		if ep := c.cl.view.epochNow(); e1.epoch != ep || e2.epoch != ep {
+			// Membership moved since the copies were read: a rebuilt MN
+			// restarts its version counters, so the copies are unusable.
+			c.mirror.demote(mn, i1)
+			c.mirror.demote(mn, i2)
+			return nil, nil, false
+		}
+		verMatch := func(ops []rdma.Op, o int) bool {
+			return ops[o].Err == nil && ops[o+1].Err == nil &&
+				binary.LittleEndian.Uint64(sc.word[0][:]) == e1.ver &&
+				binary.LittleEndian.Uint64(sc.word[1][:]) == e2.ver
+		}
+		found := false
+		for ei, e := range ents {
+			for s := 0; s < layout.BucketSlots; s++ {
+				w := binary.LittleEndian.Uint64(e.buf[s*layout.SlotSize:])
+				if w == 0 {
+					continue
+				}
+				a := layout.UnpackAtomic(w)
+				if a.FP != fp || a.Addr == 0 {
+					continue
+				}
+				meta := layout.UnpackMeta(binary.LittleEndian.Uint64(e.buf[s*layout.SlotSize+layout.SlotMetaOff:]))
+				if meta.Len == 0 {
+					return nil, nil, false // stale length hint: take the slow path
+				}
+				kvAddr, ok := c.cl.PackedAddr(a.Addr)
+				if !ok {
+					return nil, nil, false // KV's MN down: slow path handles degraded reads
+				}
+				// A positive hit only needs the matched bucket's
+				// version word: any mutation of this slot — update,
+				// delete, reclamation move — goes through a CAS on it
+				// and bumps this bucket's version before acking. The
+				// sibling bucket is irrelevant to the located pair.
+				kvBuf := sc.growKV(int(meta.Len) * 64)
+				ops := sc.ops[:0]
+				ops = append(ops,
+					rdma.Op{Kind: rdma.OpRead, Addr: kvAddr, Buf: kvBuf},
+					rdma.Op{Kind: rdma.OpRead, Addr: vas[ei], Buf: sc.word[0][:]})
+				if c.vbatch(ops) != nil || ops[0].Err != nil {
+					return nil, nil, false
+				}
+				if ops[1].Err != nil || binary.LittleEndian.Uint64(sc.word[0][:]) != e.ver {
+					found = true // bucket moved: refresh and rescan
+					break
+				}
+				okDec, decErr := layout.DecodeKVInto(&sc.dkv, kvBuf)
+				if decErr != nil || !okDec {
+					return nil, nil, false
+				}
+				kv := &sc.dkv
+				if !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
+					continue // fingerprint collision: keep scanning
+				}
+				e.hits++
+				// Refill the entry cache from the mirror hit, so the
+				// key's next GET is a single slot-validation read.
+				bkt := i1
+				if ei == 1 {
+					bkt = i2
+				}
+				c.cacheSet(h, key, mn, l.SlotOff(bkt, s), w, meta, kv.Tombstone, kv.Val)
+				if kv.Tombstone {
+					c.Stats.MirrorNegHits++
+					c.met.MirrorNegHits.Add(1)
+					return nil, ErrNotFound, true
+				}
+				c.Stats.MirrorHits++
+				c.met.MirrorHits.Add(1)
+				return append(dst, kv.Val...), nil, true
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// No local candidate: one doorbell of two 8-byte reads
+			// either proves the absence or flags the images stale.
+			ops := sc.ops[:0]
+			ops = append(ops,
+				rdma.Op{Kind: rdma.OpRead, Addr: va1, Buf: sc.word[0][:]},
+				rdma.Op{Kind: rdma.OpRead, Addr: va2, Buf: sc.word[1][:]})
+			if c.vbatch(ops) != nil {
+				return nil, nil, false
+			}
+			if verMatch(ops, 0) {
+				e1.hits++
+				e2.hits++
+				c.Stats.MirrorNegHits++
+				c.met.MirrorNegHits.Add(1)
+				return nil, ErrNotFound, true
+			}
+		}
+		// Version mismatch: refresh both images in place, demoting the
+		// pair when write pressure makes refreshes outpace hits.
+		epoch := c.cl.view.epochNow()
+		b1, b2, v1, v2, vOK, rerr := c.readBucketsVer(mn, i1, i2, true)
+		if rerr != nil || !vOK {
+			return nil, nil, false
+		}
+		e1.refresh(b1, v1, epoch)
+		e2.refresh(b2, v2, epoch)
+		if e1.pressured() || e2.pressured() {
+			c.mirror.demote(mn, i1)
+			c.mirror.demote(mn, i2)
+			return nil, nil, false
+		}
+	}
+	return nil, nil, false
+}
+
+// updateCache records the located slot (and, under CacheValues, the
+// decoded value) for future cache-accelerated reads and writes.
+func (c *Client) updateCache(key []byte, h uint64, mn int, m racehash.Match, tomb bool, val []byte) {
 	l := c.cl.L
 	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
 	bucket := i1
 	if m.Bucket == 1 {
 		bucket = i2
 	}
-	c.cache[string(key)] = &cacheEnt{
-		mn:      mn,
-		slotOff: l.SlotOff(bucket, m.Slot),
-		atomic:  m.Atomic.Pack(),
-		meta:    m.Meta,
-		tomb:    tomb,
+	c.cacheSet(h, key, mn, l.SlotOff(bucket, m.Slot), m.Atomic.Pack(), m.Meta, tomb, val)
+}
+
+// cacheSet installs (or refreshes) a positive cache entry. val is the
+// committed value (nil for tombstones); it is retained only under
+// Config.CacheValues.
+func (c *Client) cacheSet(h uint64, key []byte, mn int, slotOff, atomic uint64, meta layout.SlotMeta, tomb bool, val []byte) {
+	ent := c.cache.upsert(h, key)
+	if ent == nil {
+		return
+	}
+	ent.flags &^= entNeg | entTomb | entMissed
+	if tomb {
+		ent.flags |= entTomb
+		val = nil
+	}
+	ent.mn = mn
+	ent.slotOff = slotOff
+	ent.atomic = atomic
+	ent.meta = meta
+	if c.cl.Cfg.CacheValues {
+		c.cache.storeVal(ent, val)
 	}
 }
 
@@ -571,14 +968,14 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 						c.ot.OpMark("lock.wait", waitStart)
 					}
 					lockWait += c.cl.Cfg.LockRetry
-					c.forgetCache(key)
+					c.forgetCache(h, key)
 					continue
 				}
 				force := layout.SlotMeta{Epoch: metaOld.Epoch + 2, Len: metaOld.Len}
 				prev, err := c.vcas(metaAddr, metaOld.Pack(), force.Pack())
 				if err != nil || prev != metaOld.Pack() {
 					lockWait = 0
-					c.forgetCache(key)
+					c.forgetCache(h, key)
 					continue
 				}
 				lockedVal = force.Pack()
@@ -594,7 +991,7 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 					prev, err := c.vcas(metaAddr, metaOld.Pack(), lock.Pack())
 					if err != nil || prev != metaOld.Pack() {
 						c.Stats.CASRetries++
-						c.forgetCache(key)
+						c.forgetCache(h, key)
 						continue
 					}
 					lockedVal = lock.Pack()
@@ -637,7 +1034,7 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 			if lockedVal != 0 {
 				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
 			}
-			c.forgetCache(key)
+			c.forgetCache(h, key)
 			c.finishWrite()
 			if attempt > 2 {
 				shift := attempt
@@ -665,11 +1062,8 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 			old := layout.UnpackAtomic(atomOld)
 			c.markObsolete(old.Addr, layout.UnpackMeta(metaOld.Pack()).Len)
 		}
-		c.cache[string(key)] = &cacheEnt{
-			mn: mn, slotOff: slotOff, atomic: newAtomic,
-			meta: layout.SlotMeta{Epoch: epochKV, Len: classUnits},
-			tomb: tombstone,
-		}
+		c.cacheSet(h, key, mn, slotOff, newAtomic,
+			layout.SlotMeta{Epoch: epochKV, Len: classUnits}, tombstone, val)
 		c.finishWrite()
 		return nil
 	}
@@ -697,7 +1091,7 @@ func (c *Client) invalidateKV(p placedKV) {
 }
 
 // forgetCache drops a (possibly stale) cache entry.
-func (c *Client) forgetCache(key []byte) { delete(c.cache, string(key)) }
+func (c *Client) forgetCache(h uint64, key []byte) { c.cache.remove(h, key) }
 
 // finishWrite handles deferred post-commit work: sealing filled blocks
 // and flushing batched free-bitmap updates.
@@ -716,9 +1110,14 @@ func (c *Client) finishWrite() {
 // an empty slot), Meta word, whether the key already exists, and
 // whether its committed pair is a tombstone.
 func (c *Client) locateForWrite(key []byte, h uint64, mn int, fp uint8) (slotOff uint64, atomic uint64, meta layout.SlotMeta, found, isTomb bool, err error) {
-	if ent, ok := c.cache[string(key)]; ok && c.cl.Cfg.CacheSlotAddr {
-		// Trust the cache; a stale entry just costs one CAS retry.
-		return ent.slotOff, ent.atomic, ent.meta, true, ent.tomb, nil
+	if c.cl.Cfg.CacheSlotAddr {
+		// Trust the cache; a stale entry just costs one CAS retry. A
+		// negative entry or miss candidate is no help here — it proves
+		// (suspected) absence, not a slot location — so only positive
+		// entries short-circuit.
+		if ent := c.cache.lookup(h, key); ent != nil && ent.pos() {
+			return ent.slotOff, ent.atomic, ent.meta, true, ent.tomb(), nil
+		}
 	}
 	l := c.cl.L
 	b1, b2, err := c.readBuckets(h, mn)
@@ -852,6 +1251,7 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 			c.refreshDeltas(ob)
 			ob.viewEpoch = ep
 		}
+		c.touchClass(classUnits)
 		return ob, nil
 	}
 	l := c.cl.L
@@ -924,9 +1324,41 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 			ob.deltas = append(ob.deltas, deltaTarget{mn: pmn, blockOff: l.BlockOff(int(dd.u32()))})
 		}
 		c.open[classUnits] = ob
+		c.touchClass(classUnits)
+		c.boundOpen()
 		return ob, nil
 	}
 	return nil, ErrNoSpace
+}
+
+// touchClass moves a size class to the most-recently-used end of the
+// open-block LRU order.
+func (c *Client) touchClass(class uint8) {
+	for i, cl := range c.openLRU {
+		if cl == class {
+			copy(c.openLRU[i:], c.openLRU[i+1:])
+			c.openLRU[len(c.openLRU)-1] = class
+			return
+		}
+	}
+	c.openLRU = append(c.openLRU, class)
+}
+
+// boundOpen enforces maxOpenClasses by sealing the least-recently-used
+// class's partially filled block early. Its unwritten slots are safe to
+// seal over — they are zero in both DATA and DELTA, so the stripe
+// invariant holds — and merely leak until reclamation hands the block
+// out again. The seal itself is deferred to finishWrite (post-commit),
+// matching the normal seal ordering.
+func (c *Client) boundOpen() {
+	for len(c.open) > maxOpenClasses && len(c.openLRU) > 0 {
+		victim := c.openLRU[0]
+		c.openLRU = c.openLRU[1:]
+		if ob, ok := c.open[victim]; ok {
+			delete(c.open, victim)
+			c.pendingSeal = append(c.pendingSeal, ob)
+		}
+	}
 }
 
 // refreshDeltas re-resolves an open block's DELTA-block targets after
@@ -1044,6 +1476,11 @@ func (c *Client) FlushBitmaps() {
 	c.pendingN = 0
 }
 
-// Close flushes pending state (bitmap updates); open blocks stay
-// unsealed and are safely rescanned by recovery.
-func (c *Client) Close() { c.FlushBitmaps() }
+// Close flushes pending state (bitmap updates) and returns the cache
+// and mirror gauge contributions to the cluster aggregate; open blocks
+// stay unsealed and are safely rescanned by recovery.
+func (c *Client) Close() {
+	c.FlushBitmaps()
+	c.cache.release()
+	c.mirror.release()
+}

@@ -49,8 +49,14 @@ type deltaCopy struct {
 // application (§3.2.2 remark 3).
 func (c *Client) Restart(ctx rdma.Ctx) error {
 	c.ctx = ctx
-	c.cache = make(map[string]*cacheEnt)
+	c.cache = newClientCache(c.cl.Cfg.cacheEntries())
+	if c.cache != nil {
+		c.cache.met = c.met
+		c.met.Bytes.Add(int64(c.cache.Bytes()))
+	}
+	c.mirror = newBucketMirror(c.cl.Cfg.offloadBuckets(), c.met)
 	c.open = make(map[uint8]*openBlock)
+	c.openLRU = nil
 	c.pending = make(map[pendKey][]uint32)
 	c.pendingN = 0
 	c.pendingSeal = nil
@@ -310,8 +316,12 @@ func (c *Client) clearDeltas(dcs []deltaCopy, lo, n int) {
 // flushing anything, as a CN fail-stop would (test and example
 // support). Use Restart on a new process to recover the identity.
 func (c *Client) SimulateCrash() {
+	c.cache.release()
+	c.mirror.release()
 	c.cache = nil
+	c.mirror = nil
 	c.open = nil
+	c.openLRU = nil
 	c.pending = nil
 	c.pendingSeal = nil
 	c.ctx = nil

@@ -29,6 +29,14 @@ type Cluster struct {
 	trace   *obs.Ring
 	tracer  *obs.Tracer
 
+	// bvLive: the platform supports rdma.LocalAtomics, so MN servers
+	// maintain per-bucket version words and clients may trust
+	// version-validated cache state (negative entries, mirrors).
+	bvLive bool
+	// cacheMet aggregates cache activity across this handle's clients
+	// for live export (/metrics, admin Stats).
+	cacheMet obs.CacheMetrics
+
 	mu      sync.Mutex
 	nextCli uint16
 }
@@ -85,6 +93,7 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{Cfg: cfg, L: l, pl: pl, trace: obs.NewRing(1024)}
+	_, cl.bvLive = pl.(rdma.LocalAtomics)
 	if rate := cfg.traceSample(); rate > 0 {
 		cl.tracer = obs.NewTracer(rate, cfg.traceSpans())
 	}
@@ -118,6 +127,10 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 	}
 	return cl, nil
 }
+
+// CacheMetrics returns the handle-wide client-cache aggregate for
+// metrics export.
+func (cl *Cluster) CacheMetrics() *obs.CacheMetrics { return &cl.cacheMet }
 
 // StartServers installs RPC handlers and spawns the per-MN daemons
 // (erasure encoder, checkpoint sender/receiver, meta replicator). On

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/layout"
+	"repro/internal/racehash"
 	"repro/internal/rdma"
 	"repro/internal/rdma/simnet"
 )
@@ -270,7 +271,7 @@ func TestEpochRollover(t *testing.T) {
 			t.Errorf("after rollover: %v", err)
 			return
 		}
-		ent := c.cache[string(k)]
+		ent := c.cache.lookup(racehash.Hash(k), k)
 		if ent == nil {
 			t.Error("no cache entry")
 			return

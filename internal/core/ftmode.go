@@ -93,6 +93,7 @@ func (a *acesoMode) Caps() ftmode.Caps {
 		Checkpoints:    true,
 		SpaceBreakdown: true,
 		AdminRPC:       true,
+		ClientCache:    true,
 	}
 }
 

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// bucketMirror is the client's adaptive hot-bucket offload (DESIGN.md
+// §12): per-bucket access counters promote the hottest index buckets
+// into CN-resident copies, turning GETs on them into a local scan plus
+// one doorbell of 8-byte validation reads (~1 RTT, Outback-style)
+// instead of two 128-byte bucket reads plus a KV read. Copies are
+// revalidated against the MN's bucket version words, refreshed in
+// place on mismatch, and demoted when write pressure makes refreshes
+// outpace hits. The memory budget is hard: at most max buckets are
+// resident, each a fixed 128-byte image plus bookkeeping.
+type bucketMirror struct {
+	max    int
+	ents   map[mirrorKey]*mirrorEnt
+	counts []uint32 // hashed per-bucket-pair access counters
+	ops    uint32   // accesses since the last counter decay
+	met    *obs.CacheMetrics
+}
+
+type mirrorKey struct {
+	mn int
+	b  uint64
+}
+
+// mirrorEnt is one CN-resident bucket copy. ver is the MN's bucket
+// version word read *before* the image in the same in-order doorbell
+// batch, so "word still equals ver" proves the image current.
+type mirrorEnt struct {
+	buf   [layout.BucketSize]byte
+	ver   uint64
+	epoch uint64 // view epoch the copy was read under
+	hits  uint32 // mirror-served GETs since promotion/refresh reset
+	refr  uint32 // refreshes (version mismatches) — write pressure
+}
+
+const (
+	// mirrorPromoteAfter is the access count at which a bucket pair
+	// qualifies for promotion. Counters are fed by the whole GET
+	// stream — cache hits included — so bucket heat reflects total
+	// traffic, and a hot bucket is usually already resident by the
+	// time CLOCK pressure evicts one of its keys from the entry cache.
+	// Promotion costs two piggybacked version-word reads and each
+	// mirror-served GET thereafter saves one verb, so the threshold is
+	// set high enough that qualifying pairs repay the install.
+	mirrorPromoteAfter = 16
+	// mirrorDecayOps halves every access counter periodically so the
+	// mirror adapts when the hot set drifts.
+	mirrorDecayOps = 4096
+	// mirrorEntOverhead approximates one resident bucket's bookkeeping
+	// beyond its 128-byte image, for the bytes gauge.
+	mirrorEntOverhead = 64
+)
+
+func newBucketMirror(max int, met *obs.CacheMetrics) *bucketMirror {
+	if max <= 0 {
+		return nil
+	}
+	nc := 1024
+	for nc < 4*max && nc < 1<<16 {
+		nc *= 2
+	}
+	return &bucketMirror{
+		max:    max,
+		ents:   make(map[mirrorKey]*mirrorEnt, max),
+		counts: make([]uint32, nc),
+		met:    met,
+	}
+}
+
+// Len returns the resident bucket count.
+func (m *bucketMirror) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.ents)
+}
+
+// Bytes returns the mirror's resident footprint.
+func (m *bucketMirror) Bytes() uint64 {
+	if m == nil {
+		return 0
+	}
+	return uint64(len(m.ents)) * (layout.BucketSize + mirrorEntOverhead)
+}
+
+// note records one access to a key whose candidate pair starts at
+// bucket i1 and reports whether the pair is hot enough to promote.
+func (m *bucketMirror) note(mn int, i1 uint64) bool {
+	m.ops++
+	if m.ops%mirrorDecayOps == 0 {
+		for i := range m.counts {
+			m.counts[i] >>= 1
+		}
+	}
+	ci := (uint64(mn)*0x9e3779b97f4a7c15 ^ i1*0xbf58476d1ce4e5b9) & uint64(len(m.counts)-1)
+	if m.counts[ci] != ^uint32(0) {
+		m.counts[ci]++
+	}
+	return m.counts[ci] >= mirrorPromoteAfter
+}
+
+// get returns the resident copy of (mn, b), or nil.
+func (m *bucketMirror) get(mn int, b uint64) *mirrorEnt {
+	if m == nil {
+		return nil
+	}
+	return m.ents[mirrorKey{mn, b}]
+}
+
+// install stores (or refreshes in place) the copy of bucket b read as
+// img under version ver and view epoch. At the budget, the coldest
+// resident bucket is demoted to make room.
+func (m *bucketMirror) install(mn int, b uint64, img []byte, ver, epoch uint64) {
+	k := mirrorKey{mn, b}
+	e := m.ents[k]
+	if e == nil {
+		if len(m.ents) >= m.max {
+			if !m.evictColdest() {
+				return
+			}
+		}
+		e = &mirrorEnt{}
+		m.ents[k] = e
+		if m.met != nil {
+			m.met.Offloaded.Add(1)
+			m.met.Bytes.Add(layout.BucketSize + mirrorEntOverhead)
+		}
+	}
+	copy(e.buf[:], img)
+	e.ver = ver
+	e.epoch = epoch
+}
+
+// refresh updates a resident copy in place after a version mismatch.
+func (e *mirrorEnt) refresh(img []byte, ver, epoch uint64) {
+	copy(e.buf[:], img)
+	e.ver = ver
+	e.epoch = epoch
+	e.refr++
+}
+
+// pressured reports whether refreshes are outpacing hits — the
+// demote-under-write-pressure signal.
+func (e *mirrorEnt) pressured() bool {
+	return e.refr >= 4 && e.hits < 4*e.refr
+}
+
+// demote drops the copy of (mn, b).
+func (m *bucketMirror) demote(mn int, b uint64) {
+	k := mirrorKey{mn, b}
+	if _, ok := m.ents[k]; !ok {
+		return
+	}
+	delete(m.ents, k)
+	if m.met != nil {
+		m.met.Offloaded.Add(-1)
+		m.met.Bytes.Add(-(layout.BucketSize + mirrorEntOverhead))
+	}
+}
+
+// evictColdest demotes the resident bucket with the fewest hits.
+// Promotions are rare (counter-gated), so the linear scan is off any
+// hot path.
+func (m *bucketMirror) evictColdest() bool {
+	var victim mirrorKey
+	best := ^uint32(0)
+	found := false
+	for k, e := range m.ents {
+		if e.hits <= best {
+			victim, best, found = k, e.hits, true
+		}
+	}
+	if !found {
+		return false
+	}
+	m.demote(victim.mn, victim.b)
+	return true
+}
+
+// release returns the mirror's gauge contributions (client close).
+func (m *bucketMirror) release() {
+	if m == nil || m.met == nil {
+		return
+	}
+	m.met.Offloaded.Add(-int64(len(m.ents)))
+	m.met.Bytes.Add(-int64(m.Bytes()))
+}

@@ -43,9 +43,10 @@ type Server struct {
 	stopped  bool
 
 	// Segment-parallel checkpoint pipeline state (ckpt.go).
-	ckptDirty    []atomic.Uint64 // per-segment dirty bitmap, set by the write observer
-	ckptTracked  bool            // observer wired; else every segment ships every round
-	ckptResync   bool            // recovered server: first round must overwrite, not XOR
+	ckptDirty    []atomic.Uint64         // per-segment dirty bitmap, set by the write observer
+	ckptTracked  bool                    // observer wired; else every segment ships every round
+	bvAdd        func(off, delta uint64) // fabric-synchronised bucket-version bump; nil when unsupported
+	ckptResync   bool                    // recovered server: first round must overwrite, not XOR
 	ckptFr       *ckptFramer
 	ckptApplier  *ckptApplier
 	ckptShippers []*ckptShipper
@@ -131,6 +132,9 @@ func (s *Server) start() {
 	}
 	segs := l.CkptSegCount()
 	s.ckptDirty = make([]atomic.Uint64, (segs+63)/64)
+	if la, ok := s.cl.pl.(rdma.LocalAtomics); ok {
+		s.bvAdd = la.LocalAdd64(s.node)
+	}
 	if wo, ok := s.cl.pl.(rdma.WriteObserver); ok {
 		s.ckptTracked = wo.SetWriteObserver(s.node, s.observeIndexWrite)
 	}
@@ -277,6 +281,18 @@ type ServerStats struct {
 	ECEncodeBatches uint64 // batched parity folds (stripes per encoder pass)
 	ECDecodeBytes   uint64 // shard bytes read by reconstruct fan-outs
 	ECDecodeNs      uint64 // virtual elapsed time of reconstruct fan-outs, ns
+
+	// Client index-cache aggregate of the cluster handle this server
+	// belongs to (zero on a daemon that runs no clients; DESIGN.md §12).
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheNegHits       uint64
+	CacheEvictions     uint64
+	CacheMirrorHits    uint64
+	CacheMirrorNegHits uint64
+	CacheEntries       uint64 // gauge: allocated entries across live clients
+	CacheBytes         uint64 // gauge: cache + mirror resident bytes
+	CacheOffloaded     uint64 // gauge: mirrored buckets across live clients
 }
 
 // Stats snapshots the server's counters and scans pool occupancy. On a
@@ -329,6 +345,16 @@ func (s *Server) statsLocked() ServerStats {
 	st.ECDecodeBytes = s.ecDecodeBytes
 	st.ECDecodeNs = s.ecDecodeNs
 	s.mu.Unlock()
+	cs := s.cl.cacheMet.Snapshot()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheNegHits = cs.NegHits
+	st.CacheEvictions = cs.Evictions
+	st.CacheMirrorHits = cs.MirrorHits
+	st.CacheMirrorNegHits = cs.MirrorNegHits
+	st.CacheEntries = uint64(cs.Entries)
+	st.CacheBytes = uint64(cs.Bytes)
+	st.CacheOffloaded = uint64(cs.Offloaded)
 	return st
 }
 

@@ -378,6 +378,94 @@ func TestCrossModeUsage(t *testing.T) {
 	})
 }
 
+// cacheStatser is the optional surface a caching client exposes; the
+// conformance test asserts it tracks Caps().ClientCache exactly.
+type cacheStatser interface {
+	CacheStats() (entries int, bytes uint64, offloaded int, evictions uint64)
+}
+
+// TestCrossModeClientCacheCapability pins the ClientCache capability to
+// reality: a mode that advertises it must hand out clients exposing
+// CacheStats and actually populate the cache under the config knobs; a
+// mode that does not must hand out clients without the surface — and
+// must still serve CRUD correctly with the knobs set (they are inert,
+// not rejected).
+func TestCrossModeClientCacheCapability(t *testing.T) {
+	for _, m := range allModes {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			cfg := crossConfig()
+			cfg.FTMode = m
+			cfg.CacheEntries = 1024
+			cfg.CacheNegative = true
+			cfg.OffloadBuckets = 32
+			pl := simnet.New(simnet.DefaultConfig())
+			ft, err := core.OpenFT(cfg, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ft.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(pl.Shutdown)
+			h := &harness{pl: pl, ft: ft}
+			wantCache := ft.Caps().ClientCache
+			h.runClients(t, 30*time.Second, func(c ftmode.Client) {
+				cs, hasCache := c.(cacheStatser)
+				if hasCache != wantCache {
+					t.Errorf("mode %s: Caps().ClientCache=%v but client CacheStats surface=%v",
+						ft.Mode(), wantCache, hasCache)
+					return
+				}
+				const n = 64
+				for i := 0; i < n; i++ {
+					if err := c.Insert(key(i), val(i, 0)); err != nil {
+						t.Errorf("insert %d: %v", i, err)
+						return
+					}
+				}
+				// Two passes: the first populates, the second must be
+				// served from cache on capable modes (and stay correct
+				// on all of them).
+				for pass := 0; pass < 2; pass++ {
+					for i := 0; i < n; i++ {
+						got, err := c.Search(key(i))
+						if err != nil || !bytes.Equal(got, val(i, 0)) {
+							t.Errorf("pass %d search %d: %v", pass, i, err)
+							return
+						}
+					}
+					// Absent keys exercise the negative path; the
+					// conclusion must not change across passes.
+					for i := n; i < n+16; i++ {
+						if _, err := c.Search(key(i)); !errors.Is(err, core.ErrNotFound) {
+							t.Errorf("pass %d absent search %d: err=%v, want ErrNotFound", pass, i, err)
+							return
+						}
+					}
+				}
+				if !hasCache {
+					return
+				}
+				entries, bytes_, _, _ := cs.CacheStats()
+				if entries == 0 || bytes_ == 0 {
+					t.Errorf("mode %s: caching client served %d hot GETs but CacheStats()=(%d entries, %d bytes)",
+						ft.Mode(), 2*n, entries, bytes_)
+				}
+				if entries > cfg.CacheEntries {
+					t.Errorf("mode %s: cache holds %d entries, config bound is %d",
+						ft.Mode(), entries, cfg.CacheEntries)
+				}
+				if cc, ok := c.(*core.Client); ok {
+					if cc.Stats.CacheHits == 0 {
+						t.Errorf("second warm pass recorded no cache hits (stats %+v)", cc.Stats)
+					}
+				}
+			})
+		})
+	}
+}
+
 // TestCrossModeUnalignedIndexSplit pins the replication modes'
 // partition rounding: an IndexBytes that is not divisible into
 // bucket-aligned replica partitions (like the 2 MB default over 3

@@ -97,6 +97,34 @@ func DecodeKV(src []byte) (*KV, error) {
 	}, nil
 }
 
+// DecodeKVInto is DecodeKV without the heap allocation: it fills dst
+// (whose Key/Val alias src) and reports whether the slot held a
+// written pair. The client's cached-GET hot path uses it to stay at 0
+// allocs/op.
+func DecodeKVInto(dst *KV, src []byte) (ok bool, err error) {
+	if len(src) < KVHeaderSize+1 {
+		return false, fmt.Errorf("layout: KV slot too short (%d)", len(src))
+	}
+	fence := src[0]
+	if fence == 0 {
+		return false, nil
+	}
+	if src[len(src)-1] != fence {
+		return false, ErrTornKV
+	}
+	keyLen := int(binary.LittleEndian.Uint16(src[2:]))
+	valLen := int(binary.LittleEndian.Uint32(src[4:]))
+	if KVHeaderSize+keyLen+valLen+1 > len(src) {
+		return false, fmt.Errorf("layout: KV lengths k=%d v=%d exceed slot %d", keyLen, valLen, len(src))
+	}
+	dst.Key = src[KVHeaderSize : KVHeaderSize+keyLen]
+	dst.Val = src[KVHeaderSize+keyLen : KVHeaderSize+keyLen+valLen]
+	dst.SlotVersion = binary.LittleEndian.Uint64(src[8:])
+	dst.Fence = fence
+	dst.Tombstone = src[1]&kvFlagTomb != 0
+	return true, nil
+}
+
 // NextFence returns the write-version fence to use when overwriting a
 // slot whose previous fence was old: it toggles 1↔2 (§3.4.2) so a torn
 // overwrite is distinguishable from the intact old pair.

@@ -41,6 +41,9 @@ type Exporter struct {
 	// SLO supplies the windowed SLO engine for the aceso_slo_*
 	// families.
 	SLO *SLOTracker
+	// Cache supplies the client index-cache aggregate for the
+	// aceso_cache_* family (nil when this process runs no clients).
+	Cache *CacheMetrics
 	// Healthy reports daemon liveness for /healthz (nil means always
 	// healthy).
 	Healthy func() bool
@@ -212,6 +215,27 @@ func (e *Exporter) WriteProm(w io.Writer) {
 			header(w, "aceso_"+name, "gauge", "Store-level gauge.")
 			fmt.Fprintf(w, "aceso_%s %g\n", name, g[name])
 		}
+	}
+	if e.Cache != nil {
+		s := e.Cache.Snapshot()
+		header(w, "aceso_cache_hits_total", "counter", "Client index-cache lookups served from a positive entry.")
+		fmt.Fprintf(w, "aceso_cache_hits_total %d\n", s.Hits)
+		header(w, "aceso_cache_misses_total", "counter", "Client index-cache lookups that found no entry.")
+		fmt.Fprintf(w, "aceso_cache_misses_total %d\n", s.Misses)
+		header(w, "aceso_cache_negative_hits_total", "counter", "GET misses answered by a validated negative entry.")
+		fmt.Fprintf(w, "aceso_cache_negative_hits_total %d\n", s.NegHits)
+		header(w, "aceso_cache_evictions_total", "counter", "Entries evicted by the CLOCK hand.")
+		fmt.Fprintf(w, "aceso_cache_evictions_total %d\n", s.Evictions)
+		header(w, "aceso_cache_mirror_hits_total", "counter", "GETs served from CN-resident hot-bucket mirrors.")
+		fmt.Fprintf(w, "aceso_cache_mirror_hits_total %d\n", s.MirrorHits)
+		header(w, "aceso_cache_mirror_negative_hits_total", "counter", "Absences proven by a mirror scan plus version check.")
+		fmt.Fprintf(w, "aceso_cache_mirror_negative_hits_total %d\n", s.MirrorNegHits)
+		header(w, "aceso_cache_entries", "gauge", "Allocated cache entries across this process's live clients.")
+		fmt.Fprintf(w, "aceso_cache_entries %d\n", s.Entries)
+		header(w, "aceso_cache_bytes", "gauge", "Resident cache plus mirror bytes across this process's live clients.")
+		fmt.Fprintf(w, "aceso_cache_bytes %d\n", s.Bytes)
+		header(w, "aceso_cache_offloaded_buckets", "gauge", "Index buckets mirrored CN-side across this process's live clients.")
+		fmt.Fprintf(w, "aceso_cache_offloaded_buckets %d\n", s.Offloaded)
 	}
 	if e.Trace != nil {
 		header(w, "aceso_trace_events_total", "counter", "Trace events emitted to the ring buffer.")
