@@ -58,6 +58,8 @@ func main() {
 	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "hot-bucket mirror budget (0 disables the offload)")
 	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
 	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
+	flag.BoolVar(&cfg.FusedCommit, "fused-commit", cfg.FusedCommit, "fuse the commit CAS into the placement doorbell on ordered fabrics (single-RTT updates)")
+	flag.BoolVar(&cfg.BlockPrefetch, "block-prefetch", cfg.BlockPrefetch, "pre-provision DATA/DELTA blocks on a per-client background worker")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -168,6 +170,9 @@ func execute(c ftmode.Client, fields []string) (quit bool) {
 				fmt.Printf("cache: entries=%d bytes=%d negHits=%d evictions=%d mirror{buckets=%d hits=%d negHits=%d}\n",
 					entries, bytes, s.CacheNegHits, evictions,
 					offloaded, s.MirrorHits, s.MirrorNegHits)
+				fmt.Printf("write: fused=%d fallback=%d deltaSkips=%d prefetch{hits=%d misses=%d}\n",
+					s.WriteFused, s.WriteFallback, s.DeltaSkips,
+					s.BlockPrefetchHits, s.BlockPrefetchMisses)
 			} else {
 				cas, reads, writes := c.Counters()
 				fmt.Printf("cas=%d reads=%d writes=%d\n", cas, reads, writes)
@@ -417,6 +422,13 @@ func printMNStats(c ftmode.Client, mn int) {
 	cache.Add("bytes", float64(st.CacheBytes))
 	cache.Add("offloaded", float64(st.CacheOffloaded))
 	fmt.Print(stats.Table(fmt.Sprintf("mn%d client index cache (co-resident clients)", st.MN), cache))
+	wr := &stats.Series{Name: "write"}
+	wr.Add("fused", float64(st.WriteFused))
+	wr.Add("fallbacks", float64(st.WriteFallbacks))
+	wr.Add("prefetchHits", float64(st.PrefetchHits))
+	wr.Add("prefetchMisses", float64(st.PrefetchMisses))
+	wr.Add("deltaSkips", float64(st.DeltaSkips))
+	fmt.Print(stats.Table(fmt.Sprintf("mn%d fused write path (co-resident clients)", st.MN), wr))
 }
 
 // parseChaos decodes "<seed> <dropProb> <delayProb> <maxDelay> <resetProb>",

@@ -77,6 +77,8 @@ func main() {
 	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "per-client hot-bucket mirror budget (0 disables the offload; clients must match)")
 	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
 	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
+	flag.BoolVar(&cfg.FusedCommit, "fused-commit", cfg.FusedCommit, "fuse the commit CAS into the placement doorbell on ordered fabrics (single-RTT updates)")
+	flag.BoolVar(&cfg.BlockPrefetch, "block-prefetch", cfg.BlockPrefetch, "pre-provision DATA/DELTA blocks on a per-client background worker")
 	flag.IntVar(&cfg.TraceSpans, "trace-spans", cfg.TraceSpans, "span ring capacity (newest retained; 0 = default 4096)")
 	opt := tcpnet.Options{}.WithDefaults()
 	flag.DurationVar(&opt.DialTimeout, "dial-timeout", opt.DialTimeout, "TCP dial timeout per connection attempt")
@@ -147,6 +149,7 @@ func main() {
 			exp.Tracer = cl.Tracer()
 			exp.Ready = cl.Ready
 			exp.Cache = cl.CacheMetrics()
+			exp.Write = cl.WriteMetrics()
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {

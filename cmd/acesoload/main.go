@@ -101,6 +101,8 @@ func main() {
 	flag.IntVar(&cfg.OffloadBuckets, "offload-buckets", cfg.OffloadBuckets, "per-client hot-bucket mirror budget (0 disables the offload)")
 	flag.BoolVar(&cfg.CacheNegative, "cache-negative", cfg.CacheNegative, "cache negative GET conclusions validated by bucket version reads")
 	flag.BoolVar(&cfg.CacheValues, "cache-values", cfg.CacheValues, "cache committed values; hits cost one 8-byte slot validation read")
+	flag.BoolVar(&cfg.FusedCommit, "fused-commit", cfg.FusedCommit, "fuse the commit CAS into the placement doorbell on ordered fabrics (single-RTT updates)")
+	flag.BoolVar(&cfg.BlockPrefetch, "block-prefetch", cfg.BlockPrefetch, "pre-provision DATA/DELTA blocks on a per-client background worker")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -139,6 +141,7 @@ func main() {
 			exp.Trace = cl.Trace()
 			exp.Tracer = cl.Tracer()
 			exp.Cache = cl.CacheMetrics()
+			exp.Write = cl.WriteMetrics()
 		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, exp.Handler()); err != nil {

@@ -87,6 +87,11 @@ func (s *Server) handleAdminStats(_ []byte) ([]byte, time.Duration) {
 	e.u64(st.CacheEntries)
 	e.u64(st.CacheBytes)
 	e.u64(st.CacheOffloaded)
+	e.u64(st.WriteFused)
+	e.u64(st.WriteFallbacks)
+	e.u64(st.PrefetchHits)
+	e.u64(st.PrefetchMisses)
+	e.u64(st.DeltaSkips)
 	return e.b, 2 * time.Microsecond
 }
 
@@ -140,6 +145,11 @@ func (c *Client) StatsMN(mn int) (ServerStats, error) {
 	st.CacheEntries = d.u64()
 	st.CacheBytes = d.u64()
 	st.CacheOffloaded = d.u64()
+	st.WriteFused = d.u64()
+	st.WriteFallbacks = d.u64()
+	st.PrefetchHits = d.u64()
+	st.PrefetchMisses = d.u64()
+	st.DeltaSkips = d.u64()
 	return st, nil
 }
 

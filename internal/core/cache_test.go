@@ -21,6 +21,10 @@ import (
 // Valid only while no engine process is running (virtual time paused).
 type directCtx struct {
 	pl *simnet.Platform
+	// doorbells counts Batch/Post calls — each is one doorbell ring /
+	// round trip on a real NIC — so the fused-write test can assert
+	// the single-RTT property directly.
+	doorbells int
 }
 
 func (d *directCtx) apply(op *rdma.Op) {
@@ -46,30 +50,35 @@ func (d *directCtx) apply(op *rdma.Op) {
 }
 
 func (d *directCtx) Read(buf []byte, addr rdma.GlobalAddr) error {
+	d.doorbells++
 	op := rdma.Op{Kind: rdma.OpRead, Addr: addr, Buf: buf}
 	d.apply(&op)
 	return op.Err
 }
 
 func (d *directCtx) Write(addr rdma.GlobalAddr, data []byte) error {
+	d.doorbells++
 	op := rdma.Op{Kind: rdma.OpWrite, Addr: addr, Buf: data}
 	d.apply(&op)
 	return op.Err
 }
 
 func (d *directCtx) CAS(addr rdma.GlobalAddr, old, new uint64) (uint64, error) {
+	d.doorbells++
 	op := rdma.Op{Kind: rdma.OpCAS, Addr: addr, Old: old, New: new}
 	d.apply(&op)
 	return op.Result, op.Err
 }
 
 func (d *directCtx) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
+	d.doorbells++
 	op := rdma.Op{Kind: rdma.OpFAA, Addr: addr, New: delta}
 	d.apply(&op)
 	return op.Result, op.Err
 }
 
 func (d *directCtx) Batch(ops []rdma.Op) error {
+	d.doorbells++
 	var firstErr error
 	for i := range ops {
 		d.apply(&ops[i])
@@ -82,8 +91,25 @@ func (d *directCtx) Batch(ops []rdma.Op) error {
 
 func (d *directCtx) Post(ops []rdma.Op) error { return d.Batch(ops) }
 
+// OrderedBatch: Batch applies ops synchronously in list order, so the
+// fused-commit tail-CAS contract holds trivially.
+func (d *directCtx) OrderedBatch() bool { return true }
+
+// errDirectRPC is preallocated so failed RPC attempts (e.g. advisory
+// bitmap flushes to a node with no server) stay off the AllocsPerRun
+// budget.
+var errDirectRPC = errors.New("directCtx: no RPC handler on node")
+
+// RPC dispatches synchronously into the target node's server handler
+// (the engine is paused, so the server's locks are uncontended). This
+// lets a direct-driven client provision blocks and flush bitmaps.
 func (d *directCtx) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, error) {
-	return nil, errors.New("directCtx: RPC unsupported")
+	h := d.pl.Handler(node)
+	if h == nil {
+		return nil, errDirectRPC
+	}
+	resp, _ := h(method, req)
+	return resp, nil
 }
 
 func (d *directCtx) Node() rdma.NodeID                { return 0 }

@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/erasure"
@@ -58,7 +58,9 @@ type Client struct {
 	// entries, mirror copies) may be trusted.
 	bvLive   bool
 	met      *obs.CacheMetrics
+	wmet     *obs.WriteMetrics
 	scratch  readScratch
+	wsc      writeScratch
 	open     map[uint8]*openBlock
 	openLRU  []uint8 // size classes, least recently used first
 	pending  map[pendKey][]uint32
@@ -67,6 +69,15 @@ type Client struct {
 	// pendingSeal holds a just-filled block whose seal must wait until
 	// after the commit CAS of its final KV (§3.2.3 ordering).
 	pendingSeal []*openBlock
+	// ordered: the attached ctx honours the OrderedBatcher tail-CAS
+	// contract, so commits may fuse into the placement doorbell
+	// (DESIGN.md §13).
+	ordered bool
+	// pf is the background block-provisioning worker's shared state
+	// (nil unless Config.BlockPrefetch).
+	pf        *blockPrefetcher
+	flushKeys []pendKey // FlushBitmaps sort scratch
+	flushEnc  []byte    // sendFreeBits encode scratch (inline path)
 
 	// Stats observable by harnesses.
 	Stats ClientStats
@@ -89,6 +100,46 @@ func (sc *readScratch) growKV(n int) []byte {
 		sc.kv = make([]byte, n)
 	}
 	return sc.kv[:n]
+}
+
+// writeScratch holds the write path's reusable buffers so a
+// steady-state fused UPDATE performs no heap allocation
+// (TestFusedWriteZeroAlloc): the KV encode buffer and XOR delta, the
+// placement batch and invalidation op slices, and the 8-byte patch
+// words the invalidation ops point at.
+type writeScratch struct {
+	buf      []byte    // KV encode buffer, grown to the largest class seen
+	delta    []byte    // XOR delta against the reclaimed slot's old bytes
+	ops      []rdma.Op // placement batch: KV write + delta writes (+ fused CAS)
+	inv      []rdma.Op // invalidation patch for a lost commit
+	invData  [8]byte
+	invDelta [8]byte
+	metaW    [8]byte // length-hint repair word (must outlive the Post)
+	metaOp   [1]rdma.Op
+	fuse     fuseSpec
+}
+
+// fuseSpec carries the commit-CAS operands into placeKV when the
+// attempt fuses the commit into the placement batch.
+type fuseSpec struct {
+	slotAddr rdma.GlobalAddr
+	atomOld  uint64
+	fp       uint8
+	verNew   uint8
+}
+
+func (sc *writeScratch) growBuf(n int) []byte {
+	if cap(sc.buf) < n {
+		sc.buf = make([]byte, n)
+	}
+	return sc.buf[:n]
+}
+
+func (sc *writeScratch) growDelta(n int) []byte {
+	if cap(sc.delta) < n {
+		sc.delta = make([]byte, n)
+	}
+	return sc.delta[:n]
 }
 
 // ClientStats counts notable client-side events.
@@ -114,6 +165,13 @@ type ClientStats struct {
 	WritesIssued  uint64
 	BytesRead     uint64
 	BytesWritten  uint64
+
+	// Fused write path (DESIGN.md §13).
+	WriteFused          uint64 // commits fused into the placement batch (1 RTT)
+	WriteFallback       uint64 // attempts that used the two-phase commit
+	DeltaSkips          uint64 // delta copies not written (dead target or lost write)
+	BlockPrefetchHits   uint64 // block refills served by the prefetcher
+	BlockPrefetchMisses uint64 // refills that fell back to a synchronous alloc
 }
 
 type pendKey struct {
@@ -150,6 +208,7 @@ func newClient(cl *Cluster, id uint16) *Client {
 		id:      id,
 		bvLive:  cl.bvLive,
 		met:     &cl.cacheMet,
+		wmet:    &cl.writeMet,
 		open:    make(map[uint8]*openBlock),
 		pending: make(map[pendKey][]uint32),
 	}
@@ -171,10 +230,26 @@ func (c *Client) CacheStats() (entries int, bytes uint64, offloaded int, evictio
 }
 
 // Attach binds the client to its process context. It must be called
-// from the client's own process before any operation.
+// from the client's own process before any operation. When the fabric
+// honours the ordered-batch contract, commit CASes fuse into the
+// placement doorbell; when Config.BlockPrefetch is on, a background
+// worker process is spawned alongside the client to pre-provision DATA
+// blocks and absorb seal/bitmap-flush RPCs.
 func (c *Client) Attach(ctx rdma.Ctx) {
 	c.ctx = ctx
 	c.ot, _ = ctx.(obs.OpTracer)
+	c.ordered = rdma.IsOrderedBatch(ctx)
+	if c.cl.Cfg.BlockPrefetch && c.pf == nil {
+		c.pf = newBlockPrefetcher()
+		c.cl.pl.Spawn(ctx.Node(), fmt.Sprintf("prefetch%d", c.id), c.prefetchLoop)
+	}
+}
+
+// noteFallback counts a two-phase (unfused) commit attempt and its
+// reason.
+func (c *Client) noteFallback(reason *atomic.Uint64) {
+	c.Stats.WriteFallback++
+	reason.Add(1)
 }
 
 // ID returns the client's cluster-unique id.
@@ -335,6 +410,16 @@ func (c *Client) noteHot(h uint64, mn int) {
 }
 
 var errStaleCache = errors.New("core: stale cache entry")
+
+// errTornRead reports a committed slot whose KV pair read back torn or
+// unwritten (fence 0). With fused commits on a wall-clock fabric the
+// tail CAS can land an instant before the KV write's bytes do (they
+// complete in issue order per connection, but readers race the window
+// between them — and a chaos-lost placement write is repaired by the
+// writer after its commit). Treating the state as transient and
+// retrying is always correct: the pair either appears or the slot
+// moves on.
+var errTornRead = errors.New("core: torn or unwritten KV under a committed slot")
 
 // cachedRead performs the cache-accelerated read of §3.5.1: with
 // CacheSlotAddr it reads the KV pair and the 8-byte slot Atomic word in
@@ -538,7 +623,14 @@ func (c *Client) querySearch(dst, key []byte, h uint64, mn int, fp uint8, sawMis
 				stale = true
 				continue
 			}
-			if kv == nil || !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
+			if kv == nil {
+				// Fence-0 pair under a non-empty slot: a fused commit's
+				// KV write still in flight (errTornRead rationale).
+				// Requery rather than conclude absence.
+				stale = true
+				continue
+			}
+			if !bytes.Equal(kv.Key, key) || kv.SlotVersion == layout.InvalidVersion {
 				continue
 			}
 			c.updateCache(key, h, mn, m, kv.Tombstone, kv.Val)
@@ -945,6 +1037,13 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 				c.ctx.Sleep(100 * time.Microsecond)
 				continue
 			}
+			if errors.Is(err, errTornRead) {
+				// A committed slot pointed at a torn or unwritten pair —
+				// a fused commit's KV write still in flight (or being
+				// repaired). Transient by construction: retry.
+				c.ctx.Sleep(20 * time.Microsecond)
+				continue
+			}
 			return err
 		}
 		if tombstone && (!found || isTomb) {
@@ -955,6 +1054,7 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 		verNew := uint8(1)
 		epochKV := uint64(0)
 		var lockedVal uint64 // non-zero when we hold the Meta lock
+		rollover := false
 		metaAddr, _ := c.cl.Addr(mn, slotOff+layout.SlotMetaOff)
 		if found {
 			if metaOld.Locked() {
@@ -987,6 +1087,7 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 			if lockedVal == 0 {
 				if atom.Ver == layout.VerMax {
 					// Epoch rollover: lock Meta by making it odd.
+					rollover = true
 					lock := layout.SlotMeta{Epoch: metaOld.Epoch + 1, Len: metaOld.Len}
 					prev, err := c.vcas(metaAddr, metaOld.Pack(), lock.Pack())
 					if err != nil || prev != metaOld.Pack() {
@@ -1003,31 +1104,81 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 		}
 		slotVersion := layout.SlotVersion(epochKV, verNew)
 
-		// Out-of-place write of the KV pair and its deltas.
-		placed, err := c.placeKV(key, val, slotVersion, tombstone)
+		// Decide whether this attempt can fuse the commit CAS into the
+		// placement doorbell (DESIGN.md §13). Only the steady-state
+		// UPDATE shape qualifies: a located slot with no Meta lock in
+		// hand — inserts and epoch rollovers keep the two-phase shape.
+		var fuse *fuseSpec
+		switch {
+		case !c.cl.Cfg.FusedCommit:
+			c.noteFallback(&c.wmet.FallbackDisabled)
+		case !c.ordered:
+			c.noteFallback(&c.wmet.FallbackCapability)
+		case !found:
+			c.noteFallback(&c.wmet.FallbackInsert)
+		case lockedVal != 0:
+			if rollover {
+				c.noteFallback(&c.wmet.FallbackRollover)
+			} else {
+				c.noteFallback(&c.wmet.FallbackLocked)
+			}
+		default:
+			if slotAddr, ok := c.cl.Addr(mn, slotOff); ok {
+				f := &c.wsc.fuse
+				*f = fuseSpec{slotAddr: slotAddr, atomOld: atomOld, fp: fp, verNew: verNew}
+				fuse = f
+			} else {
+				c.noteFallback(&c.wmet.FallbackAddr)
+			}
+		}
+
+		var batchStart time.Duration
+		if c.ot != nil && fuse != nil {
+			batchStart = c.ctx.Now()
+		}
+
+		// Out-of-place write of the KV pair and its deltas — with the
+		// commit CAS riding the same doorbell when fused.
+		placed, err := c.placeKV(key, val, slotVersion, tombstone, fuse)
 		if err != nil {
 			if lockedVal != 0 {
 				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
 			}
 			return err
 		}
-
-		// Commit: one CAS on the Atomic word (the commit point).
-		newAtomic := layout.SlotAtomic{FP: fp, Ver: verNew, Addr: placed.addr}.Pack()
-		slotAddr, ok := c.cl.Addr(mn, slotOff)
-		if !ok {
-			c.invalidateKV(placed)
-			if lockedVal != 0 {
-				c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
-			}
-			continue
+		if placed.deltaSkips > 0 {
+			c.Stats.DeltaSkips += uint64(placed.deltaSkips)
+			c.wmet.DeltaSkips.Add(uint64(placed.deltaSkips))
 		}
-		prev, err := c.vcas(slotAddr, atomOld, newAtomic)
 		classUnits := uint8(layout.KVClassSize(len(key), len(val)) / 64)
-		if err != nil || prev != atomOld {
-			// Lost the race: invalidate our KV pair (Algorithm 1 line
-			// 18) and retry against the fresh slot state, with bounded
-			// backoff so a hot-key herd cannot starve one client.
+
+		newAtomic := placed.newAtomic
+		committed := placed.committed
+		if placed.fused {
+			c.Stats.WriteFused++
+			c.wmet.Fused.Add(1)
+			if c.ot != nil {
+				c.ot.OpMark("commit.fused", batchStart)
+			}
+		} else {
+			// Commit: one CAS on the Atomic word (the commit point).
+			newAtomic = layout.SlotAtomic{FP: fp, Ver: verNew, Addr: placed.addr}.Pack()
+			slotAddr, ok := c.cl.Addr(mn, slotOff)
+			if !ok {
+				c.invalidateKV(placed)
+				if lockedVal != 0 {
+					c.unlockMeta(metaAddr, lockedVal, epochKV, metaOld.Len)
+				}
+				continue
+			}
+			prev, cerr := c.vcas(slotAddr, atomOld, newAtomic)
+			committed = cerr == nil && prev == atomOld
+		}
+		if !committed {
+			// Lost the race (or the CAS itself failed): invalidate our
+			// KV pair (Algorithm 1 line 18) and retry against the fresh
+			// slot state, with bounded backoff so a hot-key herd cannot
+			// starve one client.
 			c.Stats.CASRetries++
 			c.invalidateKV(placed)
 			c.markObsolete(placed.addr, classUnits)
@@ -1053,10 +1204,11 @@ func (c *Client) write(key, val []byte, tombstone bool) error {
 			// Stale length hint: single unsignaled RDMA_WRITE repair
 			// (§3.2.2; fire-and-forget under selective signaling).
 			m := layout.SlotMeta{Epoch: epochKV, Len: classUnits}
-			var w [8]byte
-			binary.LittleEndian.PutUint64(w[:], m.Pack())
+			sc := &c.wsc
+			binary.LittleEndian.PutUint64(sc.metaW[:], m.Pack())
+			sc.metaOp[0] = rdma.Op{Kind: rdma.OpWrite, Addr: metaAddr, Buf: sc.metaW[:]}
 			c.Stats.WritesIssued++
-			c.ctx.Post([]rdma.Op{{Kind: rdma.OpWrite, Addr: metaAddr, Buf: w[:]}}) //nolint:errcheck // best-effort hint repair
+			c.ctx.Post(sc.metaOp[:]) //nolint:errcheck // best-effort hint repair
 		}
 		if found {
 			old := layout.UnpackAtomic(atomOld)
@@ -1094,12 +1246,19 @@ func (c *Client) invalidateKV(p placedKV) {
 func (c *Client) forgetCache(h uint64, key []byte) { c.cache.remove(h, key) }
 
 // finishWrite handles deferred post-commit work: sealing filled blocks
-// and flushing batched free-bitmap updates.
+// and flushing batched free-bitmap updates. With the prefetcher
+// running, both move off the critical path to the worker.
 func (c *Client) finishWrite() {
-	for _, ob := range c.pendingSeal {
-		c.sealBlock(ob)
+	if len(c.pendingSeal) > 0 {
+		if c.pf != nil && c.pf.enqueueSeal(c.pendingSeal) {
+			c.pendingSeal = c.pendingSeal[:0]
+		} else {
+			for _, ob := range c.pendingSeal {
+				c.sealBlock(ob)
+			}
+			c.pendingSeal = c.pendingSeal[:0]
+		}
 	}
-	c.pendingSeal = c.pendingSeal[:0]
 	if c.pendingN >= c.cl.Cfg.BitmapFlushOps {
 		c.FlushBitmaps()
 	}
@@ -1126,15 +1285,24 @@ func (c *Client) locateForWrite(key []byte, h uint64, mn int, fp uint8) (slotOff
 	}
 	i1, i2 := racehash.BucketPair(h, l.NumBuckets())
 	bucketIdx := []uint64{i1, i2}
+	torn := false
 	for _, m := range racehash.ScanBuckets(fp, b1, b2) {
 		kv, err := c.readKV(m.Atomic, m.Meta)
 		if err != nil || kv == nil {
+			// Unreadable or fence-0 pair under a committed slot: it may
+			// be this very key mid-placement (fused commit window).
+			// Concluding absence here would insert a duplicate into a
+			// second slot, so force a retry instead.
+			torn = true
 			continue
 		}
 		if bytes.Equal(kv.Key, key) {
 			off := l.SlotOff(bucketIdx[m.Bucket], m.Slot)
 			return off, m.Atomic.Pack(), m.Meta, true, kv.Tombstone, nil
 		}
+	}
+	if torn {
+		return 0, 0, layout.SlotMeta{}, false, false, errTornRead
 	}
 	// Insert path: the preferred bucket is derived from the key hash
 	// (balancing load across the pair) and the slot choice is the
@@ -1155,21 +1323,33 @@ func (c *Client) locateForWrite(key []byte, h uint64, mn int, fp uint8) (slotOff
 	return 0, 0, layout.SlotMeta{}, false, false, fmt.Errorf("aceso: both buckets full for key %q (resize not triggered)", key)
 }
 
-// placedKV describes a written-but-uncommitted KV pair: its packed
-// address and the precomputed invalidation ops (version-field patches
-// for the pair and every delta copy).
+// placedKV describes a placed KV pair: its packed address, the
+// precomputed invalidation ops (version-field patches for the pair and
+// every delta copy), how many delta copies were skipped (dead target
+// or lost write), and — for fused attempts — the commit outcome.
 type placedKV struct {
-	addr uint64
-	inv  []rdma.Op
+	addr       uint64
+	inv        []rdma.Op
+	deltaSkips int
+	fused      bool   // the commit CAS rode the placement batch
+	committed  bool   // ... and won (meaningless unless fused)
+	newAtomic  uint64 // the Atomic word the fused CAS installed
 }
 
 // placeKV appends the KV pair to an open DATA block of the right size
 // class, writing the pair and its per-parity deltas in one doorbell
-// batch (Figure 6 ①). It returns the pair's packed global address and
-// the ops that invalidate it if the commit CAS loses.
-func (c *Client) placeKV(key, val []byte, slotVersion uint64, tombstone bool) (placedKV, error) {
+// batch (Figure 6 ①). With a fuse spec the commit CAS is appended as
+// the batch tail — the ordered-batch contract guarantees it executes
+// only after every placement write completed, collapsing the
+// steady-state UPDATE to a single round trip (DESIGN.md §13). A fused
+// batch is issued exactly once; the caller resolves the outcome from
+// placedKV rather than placeKV retrying.
+// All buffers and op slices come from the client's writeScratch, so a
+// steady-state call is allocation-free.
+func (c *Client) placeKV(key, val []byte, slotVersion uint64, tombstone bool, fuse *fuseSpec) (placedKV, error) {
 	classSize := layout.KVClassSize(len(key), len(val))
 	classUnits := uint8(classSize / 64)
+	sc := &c.wsc
 	for {
 		ob, err := c.getBlock(classUnits)
 		if err != nil {
@@ -1184,15 +1364,15 @@ func (c *Client) placeKV(key, val []byte, slotVersion uint64, tombstone bool) (p
 			oldSlot = ob.oldData[slot*ob.slotSize : (slot+1)*ob.slotSize]
 			fence = layout.NextFence(oldSlot[0])
 		}
-		buf := make([]byte, ob.slotSize)
+		buf := sc.growBuf(ob.slotSize)
 		layout.EncodeKV(buf, key, val, slotVersion, fence, tombstone)
 		delta := buf
 		if ob.reused {
-			delta = append([]byte(nil), buf...)
+			delta = sc.growDelta(ob.slotSize)
+			copy(delta, buf)
 			erasure.XorInto(delta, oldSlot)
 		}
 
-		ops := make([]rdma.Op, 0, 3)
 		dataAddr, ok := c.cl.Addr(ob.mn, off)
 		if !ok {
 			// Data MN died: abandon the block and allocate elsewhere
@@ -1200,48 +1380,115 @@ func (c *Client) placeKV(key, val []byte, slotVersion uint64, tombstone bool) (p
 			delete(c.open, ob.class)
 			continue
 		}
+		ops := sc.ops[:0]
 		ops = append(ops, rdma.Op{Kind: rdma.OpWrite, Addr: dataAddr, Buf: buf})
 
 		// Precompute the invalidation patch: stamping InvalidVersion
 		// into the data slot changes the delta word by
 		// slotVersion ⊕ InvalidVersion, keeping DATA = enc ⊕ DELTA.
 		p := placedKV{addr: layout.PackAddr(uint16(ob.mn), off)}
-		var invData [8]byte
-		binary.LittleEndian.PutUint64(invData[:], layout.InvalidVersion)
-		p.inv = append(p.inv, rdma.Op{Kind: rdma.OpWrite,
-			Addr: dataAddr.Add(layout.KVVersionOff), Buf: invData[:]})
+		binary.LittleEndian.PutUint64(sc.invData[:], layout.InvalidVersion)
+		inv := sc.inv[:0]
+		inv = append(inv, rdma.Op{Kind: rdma.OpWrite,
+			Addr: dataAddr.Add(layout.KVVersionOff), Buf: sc.invData[:]})
 		deltaVer := binary.LittleEndian.Uint64(delta[layout.KVVersionOff:]) ^ slotVersion ^ layout.InvalidVersion
-		var invDelta [8]byte
-		binary.LittleEndian.PutUint64(invDelta[:], deltaVer)
+		binary.LittleEndian.PutUint64(sc.invDelta[:], deltaVer)
 
+		// Delta copies the stripe wants but this write cannot reach
+		// count as skips, so fault-bound accounting sees the real
+		// fan-out rather than silently shrinking it.
+		skips := c.cl.Cfg.deltaCopies() - len(ob.deltas)
 		for _, dt := range ob.deltas {
 			a, ok := c.cl.Addr(dt.mn, dt.blockOff+uint64(slot*ob.slotSize))
 			if !ok {
+				skips++
 				continue
 			}
 			ops = append(ops, rdma.Op{Kind: rdma.OpWrite, Addr: a, Buf: delta})
-			p.inv = append(p.inv, rdma.Op{Kind: rdma.OpWrite,
-				Addr: a.Add(layout.KVVersionOff), Buf: invDelta[:]})
+			inv = append(inv, rdma.Op{Kind: rdma.OpWrite,
+				Addr: a.Add(layout.KVVersionOff), Buf: sc.invDelta[:]})
 		}
-		if err := c.vbatch(ops); err != nil {
-			if ops[0].Err != nil { // data write failed
-				delete(c.open, ob.class)
-				continue
+		nDelta := len(ops) - 1
+		if fuse != nil {
+			p.fused = true
+			p.newAtomic = layout.SlotAtomic{FP: fuse.fp, Ver: fuse.verNew, Addr: p.addr}.Pack()
+			ops = append(ops, rdma.Op{Kind: rdma.OpCAS,
+				Addr: fuse.slotAddr, Old: fuse.atomOld, New: p.newAtomic})
+		}
+		err = c.vbatch(ops)
+		sc.ops, sc.inv = ops, inv // retain grown capacity
+		// Per-op accounting: a failed delta copy is a skip (the commit
+		// may still proceed — fault tolerance degrades for this pair,
+		// it must not become a lost update); a failed data write aborts
+		// (unfused) or forces a repair/abandon decision (fused).
+		for i := 1; i <= nDelta; i++ {
+			if ops[i].Err != nil {
+				skips++
 			}
 		}
-		ob.slots = ob.slots[1:]
-		if len(ob.slots) == 0 {
-			// Seal after the commit CAS of this final KV (§3.2.3).
-			c.pendingSeal = append(c.pendingSeal, ob)
-			delete(c.open, ob.class)
+		p.deltaSkips = skips
+		p.inv = inv
+		dataErr := ops[0].Err
+		if p.fused {
+			cas := &ops[len(ops)-1]
+			p.committed = cas.Err == nil && cas.Result == fuse.atomOld
+			if p.committed && dataErr != nil {
+				// The tail CAS won but the KV write it publishes was
+				// chaos-lost or its MN failed mid-batch. Readers at the
+				// published address see a fence-0/torn pair and retry
+				// (errTornRead), or reconstruct from the deltas if the
+				// MN is gone — so re-issuing the write here closes the
+				// window without violating the commit.
+				c.repairDataWrite(dataAddr, buf)
+			}
+			if dataErr != nil && !p.committed {
+				delete(c.open, ob.class) // block's MN failing: stop using it
+			} else {
+				c.consumeSlot(ob)
+			}
+			return p, nil
 		}
+		if err != nil && dataErr != nil { // data write failed: new block
+			delete(c.open, ob.class)
+			continue
+		}
+		c.consumeSlot(ob)
 		return p, nil
 	}
 }
 
-// getBlock returns the open DATA block for a size class, allocating a
-// fresh or reclaimed block (plus its DELTA blocks on the stripe's
-// parity MNs) when needed.
+// consumeSlot pops the slot just written from the open block, queueing
+// the block for sealing when it fills (deferred past the commit CAS,
+// §3.2.3).
+func (c *Client) consumeSlot(ob *openBlock) {
+	ob.slots = ob.slots[1:]
+	if len(ob.slots) == 0 {
+		c.pendingSeal = append(c.pendingSeal, ob)
+		delete(c.open, ob.class)
+	}
+}
+
+// repairDataWrite re-issues a committed-but-lost KV placement write
+// until it lands or the target MN is declared failed (degraded reads
+// cover the latter).
+func (c *Client) repairDataWrite(addr rdma.GlobalAddr, buf []byte) {
+	for i := 0; i < 8; i++ {
+		c.Stats.WritesIssued++
+		c.Stats.BytesWritten += uint64(len(buf))
+		err := c.ctx.Write(addr, buf)
+		if err == nil || errors.Is(err, rdma.ErrNodeFailed) {
+			return
+		}
+		c.ctx.Sleep(5 * time.Microsecond)
+	}
+}
+
+// getBlock returns the open DATA block for a size class. On exhaustion
+// it first asks the prefetcher for a pre-provisioned block (hit: the
+// AllocBlock/AllocDelta RPCs and any reused-block readback already
+// happened off the critical path) and only then allocates
+// synchronously. While a block drains below its low-water mark the
+// prefetcher is asked to provision the next one in the background.
 func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 	if ob, ok := c.open[classUnits]; ok && len(ob.slots) > 0 {
 		if ep := c.cl.view.epochNow(); ep != ob.viewEpoch {
@@ -1252,12 +1499,70 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 			ob.viewEpoch = ep
 		}
 		c.touchClass(classUnits)
+		if c.pf != nil && len(ob.slots) <= c.lowWater(classUnits) {
+			c.pf.requestRefill(classUnits)
+		}
 		return ob, nil
 	}
+	if c.pf != nil {
+		if ob := c.pf.takeReady(classUnits); ob != nil {
+			c.Stats.BlockPrefetchHits++
+			c.wmet.PrefetchHits.Add(1)
+			c.adoptBlock(ob)
+			return ob, nil
+		}
+		c.Stats.BlockPrefetchMisses++
+		c.wmet.PrefetchMisses.Add(1)
+	}
+	seq := c.allocSeq
+	ob, err := c.provisionBlock(c.ctx, classUnits, &seq, &c.Stats)
+	c.allocSeq = seq
+	if err != nil {
+		return nil, err
+	}
+	c.adoptBlock(ob)
+	return ob, nil
+}
+
+// lowWater is the remaining-slot threshold that triggers a background
+// refill: a quarter of the block's slot capacity, at least one.
+func (c *Client) lowWater(classUnits uint8) int {
+	lw := c.cl.L.KVSlotsPerBlock(classUnits) / 4
+	if lw < 1 {
+		lw = 1
+	}
+	return lw
+}
+
+// adoptBlock installs a freshly provisioned block as the class's open
+// block, refreshing its delta targets if membership moved since it was
+// provisioned (prefetched blocks can sit for a while).
+func (c *Client) adoptBlock(ob *openBlock) {
+	if ob.reused {
+		c.Stats.BlocksReused++
+	} else {
+		c.Stats.BlocksAlloc++
+	}
+	if ep := c.cl.view.epochNow(); ep != ob.viewEpoch {
+		c.refreshDeltas(ob)
+		ob.viewEpoch = ep
+	}
+	c.open[ob.class] = ob
+	c.touchClass(ob.class)
+	c.boundOpen()
+}
+
+// provisionBlock allocates a fresh or reclaimed DATA block (plus its
+// DELTA blocks on the stripe's parity MNs) through ctx. It runs on the
+// client's own process or, via the prefetcher, on the background
+// worker — so it must not touch any Client state beyond the immutable
+// id/cluster handle. st receives read accounting (nil from the
+// worker: its verbs are not client ops).
+func (c *Client) provisionBlock(ctx rdma.Ctx, classUnits uint8, seq *int, st *ClientStats) (*openBlock, error) {
 	l := c.cl.L
 	n := l.Cfg.NumMNs
 	for try := 0; try < n; try++ {
-		mn := (int(c.id) + c.allocSeq + try) % n
+		mn := (int(c.id) + *seq + try) % n
 		node, alive := c.cl.view.nodeOf(mn)
 		if !alive {
 			continue
@@ -1265,11 +1570,11 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 		var e enc
 		e.u16(c.id)
 		e.u8(classUnits)
-		resp, err := c.ctx.RPC(node, methodAllocBlock, e.b)
+		resp, err := ctx.RPC(node, methodAllocBlock, e.b)
 		if err != nil || len(resp) == 0 || resp[0] != stOK {
 			continue
 		}
-		c.allocSeq++
+		*seq++
 		d := dec{b: resp[1:]}
 		idx := int(d.u32())
 		stripe := d.u32()
@@ -1286,11 +1591,10 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 		}
 		capSlots := l.KVSlotsPerBlock(classUnits)
 		if reused {
-			c.Stats.BlocksReused++
 			// Read the whole reused block back (§3.3.3 ②): the extra
 			// cost is bandwidth, not IOPS, hence the ≤5% impact.
 			ob.oldData = make([]byte, l.Cfg.BlockSize)
-			if err := c.readChunked(mn, l.BlockOff(idx), ob.oldData); err != nil {
+			if err := c.readChunkedCtx(ctx, mn, l.BlockOff(idx), ob.oldData, st); err != nil {
 				continue
 			}
 			for s := 0; s < capSlots; s++ {
@@ -1299,7 +1603,6 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 				}
 			}
 		} else {
-			c.Stats.BlocksAlloc++
 			for s := 0; s < capSlots; s++ {
 				ob.slots = append(ob.slots, s)
 			}
@@ -1316,16 +1619,13 @@ func (c *Client) getBlock(classUnits uint8) (*openBlock, error) {
 			de.u32(stripe)
 			de.u8(xorID)
 			de.u8(classUnits)
-			dresp, err := c.ctx.RPC(pnode, methodAllocDelta, de.b)
+			dresp, err := ctx.RPC(pnode, methodAllocDelta, de.b)
 			if err != nil || len(dresp) == 0 || dresp[0] != stOK {
 				continue
 			}
 			dd := dec{b: dresp[1:]}
 			ob.deltas = append(ob.deltas, deltaTarget{mn: pmn, blockOff: l.BlockOff(int(dd.u32()))})
 		}
-		c.open[classUnits] = ob
-		c.touchClass(classUnits)
-		c.boundOpen()
 		return ob, nil
 	}
 	return nil, ErrNoSpace
@@ -1386,8 +1686,15 @@ func (c *Client) refreshDeltas(ob *openBlock) {
 	}
 }
 
-// readChunked reads a whole block in ChunkBytes pieces.
+// readChunked reads a whole block in ChunkBytes pieces on the
+// client's own process.
 func (c *Client) readChunked(mn int, off uint64, dst []byte) error {
+	return c.readChunkedCtx(c.ctx, mn, off, dst, &c.Stats)
+}
+
+// readChunkedCtx reads a whole block in ChunkBytes pieces through ctx,
+// accounting into st when non-nil (nil from the prefetch worker).
+func (c *Client) readChunkedCtx(ctx rdma.Ctx, mn int, off uint64, dst []byte, st *ClientStats) error {
 	chunk := c.cl.Cfg.ChunkBytes
 	for pos := 0; pos < len(dst); pos += chunk {
 		end := pos + chunk
@@ -1398,7 +1705,11 @@ func (c *Client) readChunked(mn int, off uint64, dst []byte) error {
 		if !ok {
 			return rdma.ErrNodeFailed
 		}
-		if err := c.vread(dst[pos:end], addr); err != nil {
+		if st != nil {
+			st.ReadsIssued++
+			st.BytesRead += uint64(end - pos)
+		}
+		if err := ctx.Read(dst[pos:end], addr); err != nil {
 			return err
 		}
 	}
@@ -1408,19 +1719,23 @@ func (c *Client) readChunked(mn int, off uint64, dst []byte) error {
 // sealBlock notifies the data MN (Index Version stamp) and the parity
 // MNs (fold the DELTA into the PARITY block) that the block is full
 // (Figure 6 ②③④).
-func (c *Client) sealBlock(ob *openBlock) {
+func (c *Client) sealBlock(ob *openBlock) { c.sealBlockCtx(c.ctx, ob) }
+
+// sealBlockCtx is sealBlock through an explicit ctx, so the prefetch
+// worker can seal off the critical path.
+func (c *Client) sealBlockCtx(ctx rdma.Ctx, ob *openBlock) {
 	var e enc
 	e.u32(uint32(ob.idx))
 	e.u32(ob.copyIdx)
 	if node, alive := c.cl.view.nodeOf(ob.mn); alive {
-		c.ctx.RPC(node, methodSealBlock, e.b) //nolint:errcheck // recovery rescans unsealed blocks
+		ctx.RPC(node, methodSealBlock, e.b) //nolint:errcheck // recovery rescans unsealed blocks
 	}
 	for _, dt := range ob.deltas {
 		if node, alive := c.cl.view.nodeOf(dt.mn); alive {
 			var de enc
 			de.u32(ob.stripe)
 			de.u8(ob.xorID)
-			c.ctx.RPC(node, methodEncodeDelta, de.b) //nolint:errcheck // delta stays pending, still decodable
+			ctx.RPC(node, methodEncodeDelta, de.b) //nolint:errcheck // delta stays pending, still decodable
 		}
 	}
 }
@@ -1442,44 +1757,91 @@ func (c *Client) markObsolete(packed uint64, lenUnits uint8) {
 	c.pendingN++
 }
 
+// maxPendingKeys bounds how many drained pending-bitmap entries keep
+// their slice capacity in the map for reuse; beyond it, entries are
+// deleted so a churn workload touching many blocks cannot grow the map
+// without bound.
+const maxPendingKeys = 64
+
 // FlushBitmaps sends all queued free-bitmap updates to their servers.
 // Clients flush automatically every Config.BitmapFlushOps markings;
 // harnesses call it at workload end. Flush order is sorted so
-// simulated runs stay deterministic.
+// simulated runs stay deterministic. With the prefetcher running, the
+// payloads are built here (cheap) but the RPCs are issued by the
+// background worker. Drained entries retain their slice capacity (up
+// to maxPendingKeys) so steady-state flushes do not allocate.
 func (c *Client) FlushBitmaps() {
-	keys := make([]pendKey, 0, len(c.pending))
-	for k := range c.pending {
+	keys := c.flushKeys[:0]
+	for k, bits := range c.pending {
+		if len(bits) == 0 {
+			if len(c.pending) > maxPendingKeys {
+				delete(c.pending, k)
+			}
+			continue
+		}
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].mn != keys[j].mn {
-			return keys[i].mn < keys[j].mn
+	// Insertion sort: the key list is a handful of blocks, and
+	// sort.Slice's reflection allocates on a path the zero-alloc
+	// UPDATE budget covers (flushes fire every BitmapFlushOps writes).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && (keys[j].mn < keys[j-1].mn ||
+			(keys[j].mn == keys[j-1].mn && keys[j].block < keys[j-1].block)); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		return keys[i].block < keys[j].block
-	})
+	}
 	for _, k := range keys {
 		bits := c.pending[k]
 		node, alive := c.cl.view.nodeOf(k.mn)
-		if !alive {
-			delete(c.pending, k)
-			continue
+		if alive {
+			c.sendFreeBits(node, k, bits)
 		}
-		var e enc
-		e.u32(uint32(k.block))
-		e.u16(uint16(len(bits)))
-		for _, b := range bits {
-			e.u32(b)
-		}
-		c.ctx.RPC(node, methodFreeBits, e.b) //nolint:errcheck // obsolete hints are advisory
-		delete(c.pending, k)
+		c.pending[k] = bits[:0]
 	}
+	c.flushKeys = keys[:0]
 	c.pendingN = 0
 }
 
-// Close flushes pending state (bitmap updates) and returns the cache
+// sendFreeBits encodes and delivers one block's free-bitmap update —
+// through the prefetch worker when it is running, inline otherwise.
+func (c *Client) sendFreeBits(node rdma.NodeID, k pendKey, bits []uint32) {
+	var buf []byte
+	if c.pf != nil {
+		buf = c.pf.getBuf()
+	} else {
+		buf = c.flushEnc
+	}
+	e := enc{b: buf[:0]}
+	e.u32(uint32(k.block))
+	e.u16(uint16(len(bits)))
+	for _, b := range bits {
+		e.u32(b)
+	}
+	if c.pf != nil && c.pf.enqueueFlush(flushJob{node: node, payload: e.b}) {
+		return
+	}
+	c.ctx.RPC(node, methodFreeBits, e.b) //nolint:errcheck // obsolete hints are advisory
+	if c.pf != nil {
+		c.pf.putBuf(e.b)
+	} else {
+		c.flushEnc = e.b[:0]
+	}
+}
+
+// Close stops the prefetch worker (draining its queued seals and
+// bitmap flushes inline), flushes pending state and returns the cache
 // and mirror gauge contributions to the cluster aggregate; open blocks
 // stay unsealed and are safely rescanned by recovery.
 func (c *Client) Close() {
+	if c.pf != nil {
+		seals, flushes := c.pf.stop()
+		for _, ob := range seals {
+			c.sealBlock(ob)
+		}
+		for _, fj := range flushes {
+			c.ctx.RPC(fj.node, methodFreeBits, fj.payload) //nolint:errcheck // obsolete hints are advisory
+		}
+	}
 	c.FlushBitmaps()
 	c.cache.release()
 	c.mirror.release()

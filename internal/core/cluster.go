@@ -36,6 +36,9 @@ type Cluster struct {
 	// cacheMet aggregates cache activity across this handle's clients
 	// for live export (/metrics, admin Stats).
 	cacheMet obs.CacheMetrics
+	// writeMet aggregates write-path activity (fused commits, fallback
+	// reasons, block prefetching, delta skips) the same way.
+	writeMet obs.WriteMetrics
 
 	mu      sync.Mutex
 	nextCli uint16
@@ -131,6 +134,10 @@ func NewCluster(cfg Config, pl rdma.Platform) (*Cluster, error) {
 // CacheMetrics returns the handle-wide client-cache aggregate for
 // metrics export.
 func (cl *Cluster) CacheMetrics() *obs.CacheMetrics { return &cl.cacheMet }
+
+// WriteMetrics returns the handle-wide write-path aggregate (fused
+// commits, fallbacks, prefetch, delta skips) for metrics export.
+func (cl *Cluster) WriteMetrics() *obs.WriteMetrics { return &cl.writeMet }
 
 // StartServers installs RPC handlers and spawns the per-MN daemons
 // (erasure encoder, checkpoint sender/receiver, meta replicator). On

@@ -94,6 +94,22 @@ type Config struct {
 	// default for the same reason as CacheNegative: the verbs
 	// experiment pins the paper's two-read hit cost.
 	CacheValues bool
+	// FusedCommit fuses the commit CAS into the placement doorbell
+	// batch on fabrics that honour the rdma.OrderedBatcher contract:
+	// a steady-state UPDATE/DELETE of a located slot issues {KV write,
+	// delta writes, slot CAS} as one ordered batch — one round trip
+	// instead of two dependent ones. Inserts, Meta-locked slots and
+	// epoch rollovers keep the two-phase shape, and fabrics without
+	// the capability fall back automatically (DESIGN.md §13). On by
+	// default; the verbs experiment disables it to pin the paper's
+	// two-RTT write cost model.
+	FusedCommit bool
+	// BlockPrefetch moves DATA/DELTA block provisioning off the write
+	// hot path: a per-client background worker pre-runs
+	// AllocBlock/AllocDelta when an open block drops below its
+	// low-water mark and absorbs block seals and free-bitmap flushes,
+	// so no UPDATE stalls on an RPC. On by default.
+	BlockPrefetch bool
 	// OffloadBuckets bounds the client's hot-bucket mirror: access
 	// counters promote up to this many index buckets into CN-resident
 	// copies revalidated by one 8-byte bucket-version read, making hot
@@ -185,6 +201,8 @@ func DefaultConfig() Config {
 		Code:             "xor",
 		CkptInterval:     500 * time.Millisecond,
 		CacheSlotAddr:    true,
+		FusedCommit:      true,
+		BlockPrefetch:    true,
 		ReclaimObsolete:  0.75,
 		ReclaimFree:      0.25,
 		BitmapFlushOps:   64,

@@ -293,6 +293,13 @@ type ServerStats struct {
 	CacheEntries       uint64 // gauge: allocated entries across live clients
 	CacheBytes         uint64 // gauge: cache + mirror resident bytes
 	CacheOffloaded     uint64 // gauge: mirrored buckets across live clients
+
+	// Client write-path aggregate of the same handle (DESIGN.md §13).
+	WriteFused     uint64 // commits fused into the placement doorbell
+	WriteFallbacks uint64 // two-phase commit attempts, all reasons
+	PrefetchHits   uint64 // block refills served by the prefetch worker
+	PrefetchMisses uint64 // refills that fell back to a synchronous alloc
+	DeltaSkips     uint64 // delta copies skipped (dead target or lost write)
 }
 
 // Stats snapshots the server's counters and scans pool occupancy. On a
@@ -355,6 +362,12 @@ func (s *Server) statsLocked() ServerStats {
 	st.CacheEntries = uint64(cs.Entries)
 	st.CacheBytes = uint64(cs.Bytes)
 	st.CacheOffloaded = uint64(cs.Offloaded)
+	ws := s.cl.writeMet.Snapshot()
+	st.WriteFused = ws.Fused
+	st.WriteFallbacks = ws.Fallbacks()
+	st.PrefetchHits = ws.PrefetchHits
+	st.PrefetchMisses = ws.PrefetchMisses
+	st.DeltaSkips = ws.DeltaSkips
 	return st
 }
 

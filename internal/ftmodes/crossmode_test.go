@@ -507,3 +507,73 @@ func TestCrossModeUnalignedIndexSplit(t *testing.T) {
 		})
 	}
 }
+
+// TestCrossModeFusedCommit runs the same write-heavy sequence through
+// every mode with the shared config's FusedCommit default (on) and
+// again with the knob forced off: results must be identical either way
+// (the knob is a pure transport optimization), and the aceso mode must
+// actually take the fused path when it is allowed to.
+func TestCrossModeFusedCommit(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		fused := fused
+		name := "off"
+		if fused {
+			name = "on"
+		}
+		t.Run(name, func(t *testing.T) {
+			forEachMode(t, func(t *testing.T, h *harness) {
+				// forEachMode opens with crossConfig's default; rebuild
+				// with the knob set when it differs.
+				if h.ft.Mode() == core.FTModeAceso {
+					cfg := crossConfig()
+					cfg.FusedCommit = fused
+					pl := simnet.New(simnet.DefaultConfig())
+					ft, err := core.OpenFT(cfg, pl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ft.Start(); err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(pl.Shutdown)
+					h = &harness{pl: pl, ft: ft}
+				}
+				const n = 80
+				h.runClients(t, 60*time.Second, func(c ftmode.Client) {
+					for i := 0; i < n; i++ {
+						if err := c.Insert(key(i), val(i, 0)); err != nil {
+							t.Errorf("insert %d: %v", i, err)
+							return
+						}
+					}
+					for g := 1; g <= 3; g++ {
+						for i := 0; i < n; i++ {
+							if err := c.Update(key(i), val(i, g)); err != nil {
+								t.Errorf("update %d gen %d: %v", i, g, err)
+								return
+							}
+						}
+					}
+					for i := 0; i < n; i++ {
+						got, err := c.Search(key(i))
+						if err != nil || !bytes.Equal(got, val(i, 3)) {
+							t.Errorf("search %d: err %v", i, err)
+							return
+						}
+					}
+				})
+				a, ok := h.ft.(interface{ Core() *core.Cluster })
+				if !ok {
+					return // replication modes: conformance alone is the assertion
+				}
+				ws := a.Core().WriteMetrics().Snapshot()
+				if fused && ws.Fused == 0 {
+					t.Fatal("aceso mode with FusedCommit=true recorded no fused commits")
+				}
+				if !fused && ws.Fused != 0 {
+					t.Fatalf("aceso mode with FusedCommit=false recorded %d fused commits", ws.Fused)
+				}
+			})
+		})
+	}
+}

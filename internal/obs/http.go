@@ -44,6 +44,10 @@ type Exporter struct {
 	// Cache supplies the client index-cache aggregate for the
 	// aceso_cache_* family (nil when this process runs no clients).
 	Cache *CacheMetrics
+	// Write supplies the client write-path aggregate for the
+	// aceso_write_*, aceso_block_prefetch_* and aceso_delta_skips
+	// families (nil when this process runs no clients).
+	Write *WriteMetrics
 	// Healthy reports daemon liveness for /healthz (nil means always
 	// healthy).
 	Healthy func() bool
@@ -236,6 +240,24 @@ func (e *Exporter) WriteProm(w io.Writer) {
 		fmt.Fprintf(w, "aceso_cache_bytes %d\n", s.Bytes)
 		header(w, "aceso_cache_offloaded_buckets", "gauge", "Index buckets mirrored CN-side across this process's live clients.")
 		fmt.Fprintf(w, "aceso_cache_offloaded_buckets %d\n", s.Offloaded)
+	}
+	if e.Write != nil {
+		s := e.Write.Snapshot()
+		header(w, "aceso_write_fused_total", "counter", "Commits fused into the placement doorbell batch (single-RTT writes).")
+		fmt.Fprintf(w, "aceso_write_fused_total %d\n", s.Fused)
+		header(w, "aceso_write_fallback_total", "counter", "Two-phase commit attempts by fallback reason.")
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"disabled\"} %d\n", s.FallbackDisabled)
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"capability\"} %d\n", s.FallbackCapability)
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"insert\"} %d\n", s.FallbackInsert)
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"locked\"} %d\n", s.FallbackLocked)
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"rollover\"} %d\n", s.FallbackRollover)
+		fmt.Fprintf(w, "aceso_write_fallback_total{reason=\"addr\"} %d\n", s.FallbackAddr)
+		header(w, "aceso_block_prefetch_hits_total", "counter", "Block refills served by the background prefetch worker.")
+		fmt.Fprintf(w, "aceso_block_prefetch_hits_total %d\n", s.PrefetchHits)
+		header(w, "aceso_block_prefetch_misses_total", "counter", "Block refills that fell back to a synchronous allocation.")
+		fmt.Fprintf(w, "aceso_block_prefetch_misses_total %d\n", s.PrefetchMisses)
+		header(w, "aceso_delta_skips_total", "counter", "Delta copies skipped during placement (dead target or lost write).")
+		fmt.Fprintf(w, "aceso_delta_skips_total %d\n", s.DeltaSkips)
 	}
 	if e.Trace != nil {
 		header(w, "aceso_trace_events_total", "counter", "Trace events emitted to the ring buffer.")

@@ -426,6 +426,10 @@ func (w *ctxWrapper) RPC(node rdma.NodeID, method uint8, req []byte) ([]byte, er
 	return resp, err
 }
 
+// OrderedBatch implements rdma.OrderedBatcher by delegation, so the
+// fused-commit capability survives instrumentation wrapping.
+func (w *ctxWrapper) OrderedBatch() bool { return rdma.IsOrderedBatch(w.inner) }
+
 func (w *ctxWrapper) Node() rdma.NodeID                { return w.inner.Node() }
 func (w *ctxWrapper) Now() time.Duration               { return w.inner.Now() }
 func (w *ctxWrapper) Sleep(d time.Duration)            { w.inner.Sleep(d) }

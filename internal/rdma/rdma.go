@@ -105,6 +105,12 @@ type Verbs interface {
 	// Batch posts ops as one doorbell-batched list and waits for all
 	// completions. Per-op failures are stored in Op.Err; Batch returns
 	// the first non-nil one (after completing the rest).
+	//
+	// Fabrics implementing OrderedBatcher additionally honour the
+	// fused-commit contract: an OpCAS in the tail position executes
+	// only after every preceding op in the list has completed at its
+	// target, and returns its fetched value in Op.Result. See
+	// OrderedBatcher for the exact guarantee.
 	Batch(ops []Op) error
 	// Post issues ops unsignaled (selective signaling, §3.5.2 of the
 	// paper): the caller pays only the doorbell cost and does not wait
@@ -353,6 +359,40 @@ type VirtualTime interface {
 func IsVirtual(pl Platform) bool {
 	v, ok := pl.(VirtualTime)
 	return ok && v.VirtualTime()
+}
+
+// OrderedBatcher marks a Verbs implementation whose doorbell batches
+// support a fused commit: a trailing OpCAS in a Batch list executes
+// only after every preceding op in the list has completed at its
+// target node, and the CAS's fetched value is returned in Op.Result.
+// This is the same-QP ordering argument of RDMA hardware — writes
+// posted before a later atomic on one connection drain first — lifted
+// to the multi-node batch the client actually posts: the fabric must
+// not let the commit point become visible while any of the writes it
+// publishes are still in flight.
+//
+// Per-op failures remain possible (injected chaos, a target that
+// fail-stops mid-batch): an earlier op may carry Op.Err while the tail
+// CAS still executed and committed. Callers own that window — the core
+// client repairs a lost KV write after a committed CAS and treats an
+// errored or lost-race CAS exactly like today's two-phase lost race
+// (invalidate + retry). Ops in non-tail positions keep Batch's normal
+// concurrent semantics.
+//
+// Clients type-assert their Ctx to this (via IsOrderedBatch) and fall
+// back to the two-phase {place batch; commit CAS} shape when the
+// fabric cannot order the tail.
+type OrderedBatcher interface {
+	// OrderedBatch reports whether Batch honours the fused-commit
+	// tail-CAS ordering contract above.
+	OrderedBatch() bool
+}
+
+// IsOrderedBatch reports whether v honours the fused-commit ordering
+// contract for a tail OpCAS in a Batch.
+func IsOrderedBatch(v Verbs) bool {
+	ob, ok := v.(OrderedBatcher)
+	return ok && ob.OrderedBatch()
 }
 
 // NopLocker is a no-op sync.Locker for fabrics whose scheduling

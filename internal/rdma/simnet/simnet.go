@@ -164,6 +164,13 @@ func (pl *Platform) SetHandler(nodeID rdma.NodeID, h rdma.Handler) {
 	pl.nodes[nodeID].handler = h
 }
 
+// Handler returns the RPC dispatch installed on a node (nil when none
+// is registered or the node fail-stopped). Direct test harnesses use
+// it to serve RPCs synchronously while the engine is paused.
+func (pl *Platform) Handler(nodeID rdma.NodeID) rdma.Handler {
+	return pl.nodes[nodeID].handler
+}
+
 // Fail fail-stops a node: memory contents are dropped and all verbs
 // targeting it return rdma.ErrNodeFailed.
 func (pl *Platform) Fail(nodeID rdma.NodeID) {
@@ -426,6 +433,15 @@ func (c *ctx) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
 }
 
 func (c *ctx) Batch(ops []rdma.Op) error { return c.doBatch(ops) }
+
+// OrderedBatch implements rdma.OrderedBatcher: doBatch applies ops
+// inline in list order within the issuing process's turn, so a tail
+// OpCAS can never become visible before the writes posted ahead of it
+// (a chaos-lost earlier op is simply never applied — the documented
+// per-op-failure window).
+func (c *ctx) OrderedBatch() bool { return true }
+
+var _ rdma.OrderedBatcher = (*ctx)(nil)
 
 // Post implements rdma.Verbs: operations are charged at both NICs and
 // applied, but the caller does not sleep until their completion (an

@@ -431,8 +431,32 @@ func (v *verbs) FAA(addr rdma.GlobalAddr, delta uint64) (uint64, error) {
 
 // Batch pipelines the ops (all requests written before responses are
 // read, striped round-robin over each node's connections), retries
-// transient failures, and returns the first error.
+// transient failures, and returns the first error. A tail OpCAS is
+// fenced per the rdma.OrderedBatcher contract: it is not issued until
+// every preceding op has completed, so a fused commit can never become
+// visible while the writes it publishes are still in flight. Within
+// one attempt same-node ops already share a FIFO connection, but ops
+// to other nodes run concurrently and a transient retry can reorder
+// onto a fresh stripe — so TCP pays a second exchange for the fence
+// where an RDMA QP (and the simulated fabric) orders the tail for
+// free.
 func (v *verbs) Batch(ops []rdma.Op) error {
+	if n := len(ops); n > 1 && ops[n-1].Kind == rdma.OpCAS {
+		err := v.batchRun(ops[:n-1])
+		// The tail decides the commit even when a prefix op failed
+		// (e.g. a dead parity target): per-op errors are the caller's
+		// signal, and holding the CAS back would turn a skipped delta
+		// copy into a lost update.
+		if tailErr := v.batchRun(ops[n-1:]); err == nil {
+			err = tailErr
+		}
+		return err
+	}
+	return v.batchRun(ops)
+}
+
+// batchRun drives one op list to completion through the retry loop.
+func (v *verbs) batchRun(ops []rdma.Op) error {
 	if cap(v.ptrs) < len(ops) {
 		v.ptrs = make([]*rdma.Op, len(ops))
 	}
@@ -451,6 +475,12 @@ func (v *verbs) Batch(ops []rdma.Op) error {
 	}
 	return nil
 }
+
+// OrderedBatch implements rdma.OrderedBatcher: Batch fences a tail
+// OpCAS behind the completion of every preceding op.
+func (v *verbs) OrderedBatch() bool { return true }
+
+var _ rdma.OrderedBatcher = (*verbs)(nil)
 
 // Post implements rdma.Verbs; over TCP an unsignaled post degenerates
 // to a synchronous batch (the transport has no completion queues to
